@@ -1,0 +1,358 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (§6). Each benchmark regenerates its table/figure on
+// scaled-down inputs, prints the same rows/series the paper reports, and
+// exposes the headline numbers as benchmark metrics.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Scale up (slower, closer to the paper's regime):
+//
+//	SWARM_SCALE=medium SWARM_MAXCORES=64 go test -bench=. -timeout 4h
+package swarm_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"github.com/swarm-sim/swarm/internal/bloom"
+	"github.com/swarm-sim/swarm/internal/core"
+	"github.com/swarm-sim/swarm/internal/harness"
+	"github.com/swarm-sim/swarm/internal/noc"
+)
+
+func benchScale() harness.Scale {
+	switch os.Getenv("SWARM_SCALE") {
+	case "tiny":
+		return harness.ScaleTiny
+	case "medium":
+		return harness.ScaleMedium
+	default:
+		return harness.ScaleSmall
+	}
+}
+
+func benchMaxCores() int {
+	if v := os.Getenv("SWARM_MAXCORES"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return 16
+}
+
+func coreSweep() []int {
+	out := []int{1}
+	for c := 4; c <= benchMaxCores(); c *= 4 {
+		out = append(out, c)
+	}
+	if out[len(out)-1] != benchMaxCores() {
+		out = append(out, benchMaxCores())
+	}
+	return out
+}
+
+// Shared state: the scaling runs feed Figs 11, 12, 14, 15, 16 and Table 4,
+// so they are computed once.
+var (
+	shMu      sync.Mutex
+	shSuite   *harness.Suite
+	shScaling []harness.ScalingResult
+)
+
+func sharedSuite(b *testing.B) *harness.Suite {
+	b.Helper()
+	shMu.Lock()
+	defer shMu.Unlock()
+	if shSuite == nil {
+		shSuite = harness.NewSuite(benchScale())
+	}
+	return shSuite
+}
+
+func sharedScaling(b *testing.B) []harness.ScalingResult {
+	s := sharedSuite(b)
+	shMu.Lock()
+	defer shMu.Unlock()
+	if shScaling == nil {
+		for _, bm := range s.Benchmarks {
+			r, err := s.Scaling(bm, coreSweep())
+			if err != nil {
+				b.Fatal(err)
+			}
+			shScaling = append(shScaling, r)
+		}
+	}
+	return shScaling
+}
+
+var printOnce sync.Map
+
+func printFirst(name string, f func()) {
+	if _, loaded := printOnce.LoadOrStore(name, true); !loaded {
+		f()
+	}
+}
+
+// BenchmarkTable1 regenerates the parallelism limit study (Table 1).
+func BenchmarkTable1(b *testing.B) {
+	s := sharedSuite(b)
+	for i := 0; i < b.N; i++ {
+		rows := s.Table1(0)
+		printFirst("table1", func() { harness.PrintTable1(os.Stdout, rows) })
+		b.ReportMetric(rows[1].MaxParallelism, "sssp-max-par")
+		b.ReportMetric(rows[1].MaxTLS, "sssp-tls-par")
+	}
+}
+
+// BenchmarkTable2 regenerates the hardware cost table (Table 2).
+func BenchmarkTable2(b *testing.B) {
+	cfg := core.DefaultConfig(64)
+	for i := 0; i < b.N; i++ {
+		perTile, perChip := cfg.TotalAreaMM2()
+		printFirst("table2", func() { harness.PrintTable2(os.Stdout, cfg) })
+		b.ReportMetric(perTile, "mm2/tile")
+		b.ReportMetric(perChip, "mm2/chip")
+	}
+}
+
+// BenchmarkTable4 reports serial run-times (Table 4's right column).
+func BenchmarkTable4(b *testing.B) {
+	s := sharedSuite(b)
+	for i := 0; i < b.N; i++ {
+		printFirst("table4", func() {
+			fmt.Printf("Table 4: serial run-times (%s scale)\n", benchScale())
+		})
+		for _, bm := range s.Benchmarks {
+			cyc, err := s.Serial(bm, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			printFirst("table4-"+bm.Name(), func() {
+				fmt.Printf("  %-8s %12d cycles\n", bm.Name(), cyc)
+			})
+		}
+	}
+}
+
+// BenchmarkTable5 regenerates the idealization study (Table 5).
+func BenchmarkTable5(b *testing.B) {
+	s := sharedSuite(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Table5(benchMaxCores())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("table5", func() { harness.PrintTable5(os.Stdout, rows, benchMaxCores()) })
+		b.ReportMetric(rows[2].SelfRelative, "ideal-self-speedup")
+	}
+}
+
+// BenchmarkFig11 regenerates the self-relative scaling figure.
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := sharedScaling(b)
+		var worst, best float64 = 1e9, 0
+		for _, r := range results {
+			self := r.SelfRelative()
+			last := self[len(self)-1]
+			if last < worst {
+				worst = last
+			}
+			if last > best {
+				best = last
+			}
+			printFirst("fig11-"+r.App, func() { harness.PrintScaling(os.Stdout, r) })
+		}
+		b.ReportMetric(worst, "min-self-speedup")
+		b.ReportMetric(best, "max-self-speedup")
+	}
+}
+
+// BenchmarkFig12 regenerates the Swarm vs serial vs software-parallel
+// comparison.
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := sharedScaling(b)
+		for _, r := range results {
+			vs := r.VsSerial()
+			pv := r.ParallelVsSerial()
+			last := len(vs) - 1
+			printFirst("fig12-"+r.App, func() {
+				fmt.Printf("Fig12 %s @%dc: swarm %.1fx vs serial", r.App, r.Points[last].Cores, vs[last])
+				if pv[last] > 0 {
+					fmt.Printf(", sw-parallel %.1fx (swarm/sw = %.1fx)", pv[last], vs[last]/pv[last])
+				}
+				fmt.Println()
+			})
+			if r.App == "sssp" {
+				b.ReportMetric(vs[last], "sssp-vs-serial")
+			}
+		}
+	}
+}
+
+// BenchmarkFig13 regenerates the silo warehouse sensitivity study.
+func BenchmarkFig13(b *testing.B) {
+	s := sharedSuite(b)
+	txns := map[harness.Scale]int{
+		harness.ScaleTiny: 60, harness.ScaleSmall: 200, harness.ScaleMedium: 800,
+	}[benchScale()]
+	for i := 0; i < b.N; i++ {
+		pts, err := s.Fig13([]int{16, 4, 1}, benchMaxCores(), txns)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("fig13", func() { harness.PrintFig13(os.Stdout, pts, benchMaxCores()) })
+		one := pts[len(pts)-1]
+		b.ReportMetric(one.SwarmSpeedup, "swarm-1wh")
+		b.ReportMetric(one.SwarmSpeedup/one.ParallelSpeedup, "swarm-vs-sw-1wh")
+	}
+}
+
+// BenchmarkFig14 regenerates the cycle-breakdown figure.
+func BenchmarkFig14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := sharedScaling(b)
+		var committedFrac float64
+		for _, r := range results {
+			st := r.Points[len(r.Points)-1].Stats
+			committedFrac += float64(st.CommittedCycles) / float64(st.TotalCoreCycles())
+			printFirst("fig14-"+r.App, func() { harness.PrintFig14(os.Stdout, r.App, r.Points) })
+		}
+		b.ReportMetric(committedFrac/float64(len(results)), "avg-committed-frac")
+	}
+}
+
+// BenchmarkFig15 regenerates the queue occupancy figure.
+func BenchmarkFig15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := sharedScaling(b)
+		printFirst("fig15", func() { harness.PrintFig15(os.Stdout, results) })
+		var tq, cq float64
+		for _, r := range results {
+			st := r.Points[len(r.Points)-1].Stats
+			tq += st.AvgTaskQueueOcc
+			cq += st.AvgCommitQueueOcc
+		}
+		b.ReportMetric(tq/float64(len(results)), "avg-taskq-occ")
+		b.ReportMetric(cq/float64(len(results)), "avg-commitq-occ")
+	}
+}
+
+// BenchmarkFig16 regenerates the NoC traffic figure.
+func BenchmarkFig16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := sharedScaling(b)
+		printFirst("fig16", func() { harness.PrintFig16(os.Stdout, results) })
+		var overhead float64
+		for _, r := range results {
+			st := r.Points[len(r.Points)-1].Stats
+			mem := st.TrafficGBps(noc.ClassMem)
+			rest := st.TrafficGBps(noc.ClassEnqueue) + st.TrafficGBps(noc.ClassAbort) + st.TrafficGBps(noc.ClassGVT)
+			if mem > 0 {
+				overhead += rest / mem
+			}
+		}
+		b.ReportMetric(100*overhead/float64(len(results)), "swarm-traffic-%")
+	}
+}
+
+// BenchmarkFig17a regenerates the commit queue size sweep.
+func BenchmarkFig17a(b *testing.B) {
+	s := sharedSuite(b)
+	nc := benchMaxCores()
+	totals := []int{2 * nc, 8 * nc, 16 * nc, 32 * nc, 0}
+	for i := 0; i < b.N; i++ {
+		pts, err := s.CommitQueueSweep(nc, totals)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("fig17a", func() {
+			harness.PrintSweep(os.Stdout, "Fig 17(a): perf vs commit queue entries", s.AppNames(), pts)
+		})
+		// Small commit queues should hurt (paper: <512 degrades a lot).
+		b.ReportMetric(pts[0].Perf[1], "sssp-smallest-cq")
+	}
+}
+
+// BenchmarkFig17b regenerates the Bloom filter configuration sweep.
+func BenchmarkFig17b(b *testing.B) {
+	s := sharedSuite(b)
+	cfgs := []bloom.Config{
+		{Bits: 256, Ways: 4},
+		{Bits: 1024, Ways: 4},
+		{Bits: 2048, Ways: 8},
+		{Precise: true},
+	}
+	for i := 0; i < b.N; i++ {
+		pts, err := s.BloomSweep(benchMaxCores(), cfgs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("fig17b", func() {
+			harness.PrintSweep(os.Stdout, "Fig 17(b): perf vs signature config", s.AppNames(), pts)
+		})
+		// Default filters should be close to precise (paper: within 10%).
+		last := len(s.Benchmarks) - 1
+		b.ReportMetric(pts[2].Perf[last]/pts[3].Perf[last], "silo-2048b-vs-precise")
+	}
+}
+
+// BenchmarkFig18 regenerates the astar execution trace case study.
+func BenchmarkFig18(b *testing.B) {
+	s := sharedSuite(b)
+	for i := 0; i < b.N; i++ {
+		st, err := s.Fig18()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("fig18", func() { harness.PrintFig18(os.Stdout, st, 20) })
+		b.ReportMetric(float64(len(st.Trace)), "trace-samples")
+	}
+}
+
+// BenchmarkGVTPeriod regenerates the §6.4 GVT period sensitivity study.
+func BenchmarkGVTPeriod(b *testing.B) {
+	s := sharedSuite(b)
+	for i := 0; i < b.N; i++ {
+		pts, err := s.GVTSweep(benchMaxCores(), []uint64{50, 200, 800})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("gvt", func() {
+			harness.PrintSweep(os.Stdout, "GVT period sweep (perf vs default)", s.AppNames(), pts)
+		})
+		// The paper reports <= 3% sensitivity across this range.
+		var worst float64 = 1
+		for _, p := range pts {
+			for _, v := range p.Perf {
+				if v < worst {
+					worst = v
+				}
+			}
+		}
+		b.ReportMetric(worst, "worst-gvt-perf")
+	}
+}
+
+// BenchmarkCanary regenerates the §6.3 canary precision study.
+func BenchmarkCanary(b *testing.B) {
+	s := sharedSuite(b)
+	for i := 0; i < b.N; i++ {
+		red, sp, err := s.CanaryStudy(benchMaxCores())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("canary", func() {
+			fmt.Printf("Canary study: per-line canaries reduce global checks by %.1f%%, gmean speedup %.3fx\n",
+				100*red, sp)
+		})
+		b.ReportMetric(100*red, "check-reduction-%")
+		b.ReportMetric(sp, "gmean-speedup")
+	}
+}

@@ -1,0 +1,251 @@
+// experiments regenerates every table and figure of the paper's evaluation
+// (§6) on scaled-down inputs: Tables 1, 2, 4, 5 and Figures 11-18, plus
+// the §6.3/§6.4 sensitivity studies. See EXPERIMENTS.md for the
+// paper-vs-measured record.
+//
+// Usage:
+//
+//	experiments                     # small scale, cores 1..16
+//	experiments -scale medium -maxcores 64
+//	experiments -only fig12,fig13
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/swarm-sim/swarm/internal/bloom"
+	"github.com/swarm-sim/swarm/internal/core"
+	"github.com/swarm-sim/swarm/internal/harness"
+)
+
+func main() {
+	scaleF := flag.String("scale", "small", "input scale: tiny, small, medium")
+	maxCores := flag.Int("maxcores", 16, "largest machine (use 64 for the paper's setup)")
+	only := flag.String("only", "", "comma-separated subset: table1,table2,table4,table5,fig11-fig18,gvt,canary")
+	csvDir := flag.String("csv", "", "also write plot-ready CSV files to this directory")
+	flag.Parse()
+
+	var scale harness.Scale
+	switch *scaleF {
+	case "tiny":
+		scale = harness.ScaleTiny
+	case "small":
+		scale = harness.ScaleSmall
+	case "medium":
+		scale = harness.ScaleMedium
+	default:
+		log.Fatalf("unknown scale %q", *scaleF)
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	enabled := func(k string) bool { return len(want) == 0 || want[k] }
+
+	out := os.Stdout
+	s := harness.NewSuite(scale)
+	coreCounts := coreSweep(*maxCores)
+	fmt.Fprintf(out, "Swarm reproduction: scale=%s, cores=%v\n", scale, coreCounts)
+
+	if enabled("table1") {
+		step(out, "Table 1: parallelism limit study", func() error {
+			rows := s.Table1(0)
+			harness.PrintTable1(out, rows)
+			return writeCSV(*csvDir, "table1.csv", func(w *os.File) error {
+				return harness.WriteTable1CSV(w, rows)
+			})
+		})
+	}
+	if enabled("table2") {
+		step(out, "Table 2: task unit hardware costs", func() error {
+			harness.PrintTable2(out, core.DefaultConfig(64))
+			return nil
+		})
+	}
+
+	var results []harness.ScalingResult
+	needScaling := enabled("fig11") || enabled("fig12") || enabled("fig14") ||
+		enabled("fig15") || enabled("fig16") || enabled("table4")
+	if needScaling {
+		step(out, "Fig 11/12: scaling (Swarm, serial, software-parallel)", func() error {
+			for _, b := range s.Benchmarks {
+				r, err := s.Scaling(b, coreCounts)
+				if err != nil {
+					return err
+				}
+				results = append(results, r)
+				harness.PrintScaling(out, r)
+			}
+			if err := writeCSV(*csvDir, "scaling.csv", func(w *os.File) error {
+				return harness.WriteScalingCSV(w, results)
+			}); err != nil {
+				return err
+			}
+			if err := writeCSV(*csvDir, "breakdown.csv", func(w *os.File) error {
+				return harness.WriteBreakdownCSV(w, results)
+			}); err != nil {
+				return err
+			}
+			return writeCSV(*csvDir, "traffic.csv", func(w *os.File) error {
+				return harness.WriteTrafficCSV(w, results)
+			})
+		})
+	}
+	if enabled("table4") {
+		step(out, "Table 4: serial run-times", func() error {
+			fmt.Fprintf(out, "%-8s %16s\n", "app", "serial cycles")
+			for _, b := range s.Benchmarks {
+				cyc, err := s.Serial(b, 1)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "%-8s %16d\n", b.Name(), cyc)
+			}
+			return nil
+		})
+	}
+	if enabled("fig14") {
+		step(out, "Fig 14: aggregate core-cycle breakdowns", func() error {
+			for _, r := range results {
+				harness.PrintFig14(out, r.App, r.Points)
+			}
+			return nil
+		})
+	}
+	if enabled("fig15") {
+		step(out, "Fig 15: queue occupancies", func() error {
+			harness.PrintFig15(out, results)
+			return nil
+		})
+	}
+	if enabled("fig16") {
+		step(out, "Fig 16: NoC traffic", func() error {
+			harness.PrintFig16(out, results)
+			return nil
+		})
+	}
+	if enabled("fig13") {
+		step(out, "Fig 13: silo warehouse sensitivity", func() error {
+			txns := map[harness.Scale]int{harness.ScaleTiny: 60, harness.ScaleSmall: 200, harness.ScaleMedium: 800}[scale]
+			pts, err := s.Fig13([]int{16, 4, 1}, *maxCores, txns)
+			if err != nil {
+				return err
+			}
+			harness.PrintFig13(out, pts, *maxCores)
+			return nil
+		})
+	}
+	if enabled("table5") {
+		step(out, "Table 5: idealization study", func() error {
+			rows, err := s.Table5(*maxCores)
+			if err != nil {
+				return err
+			}
+			harness.PrintTable5(out, rows, *maxCores)
+			return nil
+		})
+	}
+	if enabled("fig17a") {
+		step(out, "Fig 17(a): commit queue size sweep", func() error {
+			totals := []int{}
+			for _, per := range []int{2, 4, 8, 16, 32} {
+				totals = append(totals, per**maxCores)
+			}
+			totals = append(totals, 0) // unbounded
+			pts, err := s.CommitQueueSweep(*maxCores, totals)
+			if err != nil {
+				return err
+			}
+			harness.PrintSweep(out, "performance vs default (1.0) by aggregate commit queue entries:", s.AppNames(), pts)
+			return nil
+		})
+	}
+	if enabled("fig17b") {
+		step(out, "Fig 17(b): Bloom filter sweep", func() error {
+			pts, err := s.BloomSweep(*maxCores, []bloom.Config{
+				{Bits: 256, Ways: 4},
+				{Bits: 1024, Ways: 4},
+				{Bits: 2048, Ways: 8},
+				{Precise: true},
+			})
+			if err != nil {
+				return err
+			}
+			harness.PrintSweep(out, "performance vs default (1.0) by signature configuration:", s.AppNames(), pts)
+			return nil
+		})
+	}
+	if enabled("gvt") {
+		step(out, "§6.4: GVT update period sweep", func() error {
+			pts, err := s.GVTSweep(*maxCores, []uint64{50, 100, 200, 400, 800})
+			if err != nil {
+				return err
+			}
+			harness.PrintSweep(out, "performance vs default (1.0) by GVT period:", s.AppNames(), pts)
+			return nil
+		})
+	}
+	if enabled("canary") {
+		step(out, "§6.3: canary virtual time precision", func() error {
+			red, sp, err := s.CanaryStudy(*maxCores)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "per-line canaries: %.1f%% fewer global checks, gmean speedup %.3fx\n", 100*red, sp)
+			return nil
+		})
+	}
+	if enabled("fig18") {
+		step(out, "Fig 18: astar execution trace (16 cores, 4 tiles)", func() error {
+			st, err := s.Fig18()
+			if err != nil {
+				return err
+			}
+			harness.PrintFig18(out, st, 30)
+			return writeCSV(*csvDir, "trace.csv", func(w *os.File) error {
+				return harness.WriteTraceCSV(w, st)
+			})
+		})
+	}
+}
+
+// writeCSV writes one CSV artifact when -csv is set.
+func writeCSV(dir, name string, fn func(*os.File) error) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(dir + "/" + name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return fn(f)
+}
+
+func coreSweep(maxCores int) []int {
+	out := []int{1}
+	for c := 2; c <= maxCores; c *= 2 {
+		out = append(out, c)
+	}
+	return out
+}
+
+func step(out *os.File, title string, fn func() error) {
+	fmt.Fprint(out, harness.Banner(title))
+	start := time.Now()
+	if err := fn(); err != nil {
+		log.Fatalf("%s failed: %v", title, err)
+	}
+	fmt.Fprintf(out, "[%.1fs]\n", time.Since(start).Seconds())
+}

@@ -1,0 +1,39 @@
+// oracle reproduces Table 1: the limit-study analysis of ordered irregular
+// parallelism (§2.2) — maximum and window-bounded parallelism, task sizes
+// and footprints, and the ideal-TLS parallelism of the sequential
+// implementations.
+//
+// Usage:
+//
+//	oracle -scale small
+//	oracle -scale medium -maxtasks 200000
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"github.com/swarm-sim/swarm/internal/harness"
+)
+
+func main() {
+	scaleF := flag.String("scale", "small", "input scale: tiny, small, medium")
+	maxTasks := flag.Int("maxtasks", 0, "bound the profiled task count (0 = all)")
+	flag.Parse()
+
+	var scale harness.Scale
+	switch *scaleF {
+	case "tiny":
+		scale = harness.ScaleTiny
+	case "small":
+		scale = harness.ScaleSmall
+	case "medium":
+		scale = harness.ScaleMedium
+	default:
+		log.Fatalf("unknown scale %q", *scaleF)
+	}
+	suite := harness.NewSuite(scale)
+	rows := suite.Table1(*maxTasks)
+	harness.PrintTable1(os.Stdout, rows)
+}

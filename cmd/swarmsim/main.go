@@ -1,0 +1,123 @@
+// swarmsim runs one benchmark on a simulated Swarm machine and reports
+// detailed statistics.
+//
+// Usage:
+//
+//	swarmsim -app sssp -cores 64 -scale small
+//	swarmsim -app silo -cores 16 -impl parallel
+//	swarmsim -app astar -cores 16 -trace 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/swarm-sim/swarm/internal/bench"
+	"github.com/swarm-sim/swarm/internal/core"
+	"github.com/swarm-sim/swarm/internal/harness"
+	"github.com/swarm-sim/swarm/internal/noc"
+)
+
+func main() {
+	app := flag.String("app", "sssp", "benchmark: bfs, sssp, astar, msf, des, silo")
+	cores := flag.Int("cores", 64, "core count (machine scales per Table 3)")
+	impl := flag.String("impl", "swarm", "implementation: swarm, serial, parallel")
+	scaleF := flag.String("scale", "small", "input scale: tiny, small, medium")
+	cq := flag.Int("commitq", 0, "override commit queue entries per core")
+	gvt := flag.Uint64("gvt", 0, "override GVT update period (cycles)")
+	trace := flag.Uint64("trace", 0, "emit a per-tile trace sample every N cycles")
+	seed := flag.Int64("seed", 1, "enqueue-placement seed")
+	flag.Parse()
+
+	var scale harness.Scale
+	switch *scaleF {
+	case "tiny":
+		scale = harness.ScaleTiny
+	case "small":
+		scale = harness.ScaleSmall
+	case "medium":
+		scale = harness.ScaleMedium
+	default:
+		log.Fatalf("unknown scale %q", *scaleF)
+	}
+	suite := harness.NewSuite(scale)
+	var b bench.Benchmark
+	for _, cand := range suite.Benchmarks {
+		if cand.Name() == *app {
+			b = cand
+		}
+	}
+	if b == nil {
+		log.Fatalf("unknown app %q (want bfs, sssp, astar, msf, des or silo)", *app)
+	}
+
+	switch *impl {
+	case "serial":
+		cyc, err := b.RunSerial(*cores)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s serial on a %d-core machine: %d cycles (verified)\n", *app, *cores, cyc)
+	case "parallel":
+		if !b.HasParallel() {
+			log.Fatalf("%s has no software-parallel version (as in the paper)", *app)
+		}
+		cyc, err := b.RunParallel(*cores)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s software-parallel on %d cores: %d cycles (verified)\n", *app, *cores, cyc)
+	case "swarm":
+		cfg := core.DefaultConfig(*cores)
+		cfg.Seed = *seed
+		if *cq > 0 {
+			cfg.CommitQPerCore = *cq
+		}
+		if *gvt > 0 {
+			cfg.GVTPeriod = *gvt
+		}
+		cfg.TraceInterval = *trace
+		st, err := b.RunSwarm(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printStats(*app, st)
+		if *trace > 0 {
+			harness.PrintFig18(os.Stdout, st, 40)
+		}
+	default:
+		log.Fatalf("unknown impl %q", *impl)
+	}
+}
+
+func printStats(app string, st core.Stats) {
+	fmt.Printf("%s on %d-core Swarm (verified)\n", app, st.Cores)
+	fmt.Printf("  cycles            %12d\n", st.Cycles)
+	fmt.Printf("  commits           %12d\n", st.Commits)
+	fmt.Printf("  aborts            %12d (%.1f%% of dispatches)\n", st.Aborts,
+		100*float64(st.Aborts)/float64(max64(st.Dequeues, 1)))
+	fmt.Printf("  spilled tasks     %12d\n", st.SpilledTasks)
+	fmt.Printf("  enqueue NACKs     %12d\n", st.NACKs)
+	tot := float64(st.TotalCoreCycles())
+	fmt.Printf("  core cycles: %.1f%% committed, %.1f%% aborted, %.1f%% spill, %.1f%% stall\n",
+		100*float64(st.CommittedCycles)/tot, 100*float64(st.AbortedCycles)/tot,
+		100*float64(st.SpillCycles)/tot, 100*float64(st.StallCycles)/tot)
+	fmt.Printf("  avg occupancy: task queue %.0f, commit queue %.0f\n",
+		st.AvgTaskQueueOcc, st.AvgCommitQueueOcc)
+	fmt.Printf("  bloom checks      %12d (VT compares: %d)\n", st.BloomChecks, st.VTCompares)
+	fmt.Printf("  NoC GB/s per tile: mem %.2f, enqueue %.2f, abort %.2f, gvt %.2f\n",
+		st.TrafficGBps(noc.ClassMem), st.TrafficGBps(noc.ClassEnqueue),
+		st.TrafficGBps(noc.ClassAbort), st.TrafficGBps(noc.ClassGVT))
+	fmt.Printf("  cache: %d loads, %d stores, %.1f%% L1 hits, %d mem accesses\n",
+		st.Cache.Loads, st.Cache.Stores,
+		100*float64(st.Cache.L1Hits)/float64(max64(st.Cache.Loads, 1)), st.Cache.MemAccesses)
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

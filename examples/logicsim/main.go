@@ -1,0 +1,163 @@
+// logicsim: an event-driven digital logic simulator on Swarm — the des
+// workload pattern (§2.2). Tasks are signal toggles at gates, timestamped
+// with simulated time; a toggle that changes a gate's output schedules its
+// fanout one gate-delay later. Swarm executes events from different parts
+// of the circuit speculatively in parallel while preserving time order.
+//
+// The circuit is a 4-bit ripple-carry adder built from NAND gates only.
+//
+//	go run ./examples/logicsim
+package main
+
+import (
+	"fmt"
+	"log"
+
+	swarm "github.com/swarm-sim/swarm"
+)
+
+// gate is one NAND in the netlist (host-side structure; values live in
+// guest memory).
+type gate struct {
+	a, b   int // fanin gate ids
+	fanout []int
+}
+
+type netlist struct {
+	gates  []gate
+	inputs []int
+}
+
+// input adds an input "gate" (value driven by the stimulus).
+func (n *netlist) input() int {
+	id := len(n.gates)
+	n.gates = append(n.gates, gate{a: -1, b: -1})
+	n.inputs = append(n.inputs, id)
+	return id
+}
+
+// nand adds a NAND gate.
+func (n *netlist) nand(a, b int) int {
+	id := len(n.gates)
+	n.gates = append(n.gates, gate{a: a, b: b})
+	n.gates[a].fanout = append(n.gates[a].fanout, id)
+	n.gates[b].fanout = append(n.gates[b].fanout, id)
+	return id
+}
+
+// xor from 4 NANDs.
+func (n *netlist) xor(a, b int) int {
+	m := n.nand(a, b)
+	return n.nand(n.nand(a, m), n.nand(b, m))
+}
+
+// and + or from NANDs.
+func (n *netlist) and(a, b int) int { m := n.nand(a, b); return n.nand(m, m) }
+func (n *netlist) or(a, b int) int  { return n.nand(n.nand(a, a), n.nand(b, b)) }
+
+// fullAdder returns (sum, cout).
+func (n *netlist) fullAdder(a, b, cin int) (int, int) {
+	axb := n.xor(a, b)
+	sum := n.xor(axb, cin)
+	cout := n.or(n.and(a, b), n.and(axb, cin))
+	return sum, cout
+}
+
+func main() {
+	var nl netlist
+	const bits = 4
+	a := make([]int, bits)
+	b := make([]int, bits)
+	for i := range a {
+		a[i] = nl.input()
+		b[i] = nl.input()
+	}
+	cin := nl.input()
+	sums := make([]int, bits)
+	c := cin
+	for i := 0; i < bits; i++ {
+		sums[i], c = nl.fullAdder(a[i], b[i], c)
+	}
+	cout := c
+
+	// Stimulus: compute 11 + 6 + 1.
+	av, bv, cv := uint64(11), uint64(6), uint64(1)
+
+	// Power-on settling: compute the circuit's quiescent state with all
+	// inputs at 0 (NAND(0,0)=1, so all-zeros is not a valid state). Gates
+	// were created in topological order, so one pass suffices.
+	quiescent := make([]uint64, len(nl.gates))
+	for g, ga := range nl.gates {
+		if ga.a >= 0 {
+			quiescent[g] = 1 &^ (quiescent[ga.a] & quiescent[ga.b])
+		}
+	}
+
+	var vals uint64 // guest address of gate output values
+	app := swarm.App{
+		Build: func(mem *swarm.Mem) ([]swarm.TaskFn, []swarm.Task) {
+			vals = mem.AllocWords(uint64(len(nl.gates)))
+			for g, v := range quiescent {
+				mem.Store(vals+uint64(g)*8, v)
+			}
+			// eval(gate) at time ts: recompute from fanin values; on
+			// change, toggle fanout at ts+1.
+			var fns []swarm.TaskFn
+			eval := func(e swarm.TaskEnv) {
+				g := int(e.Arg(0))
+				ga := nl.gates[g]
+				va := e.Load(vals + uint64(ga.a)*8)
+				vb := e.Load(vals + uint64(ga.b)*8)
+				nv := 1 &^ (va & vb) // NAND
+				e.Work(2)
+				if e.Load(vals+uint64(g)*8) == nv {
+					return
+				}
+				e.Store(vals+uint64(g)*8, nv)
+				for _, f := range ga.fanout {
+					e.Enqueue(0, e.Timestamp()+1, uint64(f))
+				}
+			}
+			// set(input, value) at time ts.
+			set := func(e swarm.TaskEnv) {
+				g, v := e.Arg(0), e.Arg(1)
+				if e.Load(vals+g*8) == v {
+					return
+				}
+				e.Store(vals+g*8, v)
+				for _, f := range nl.gates[g].fanout {
+					e.Enqueue(0, e.Timestamp()+1, uint64(f))
+				}
+			}
+			fns = []swarm.TaskFn{eval, set}
+
+			var roots []swarm.Task
+			drive := func(g int, v uint64) {
+				roots = append(roots, swarm.Task{Fn: 1, TS: 0, Args: [3]uint64{uint64(g), v}})
+			}
+			for i := 0; i < bits; i++ {
+				drive(a[i], av>>i&1)
+				drive(b[i], bv>>i&1)
+			}
+			drive(cin, cv)
+			return fns, roots
+		},
+	}
+
+	res, err := swarm.Run(swarm.DefaultConfig(8), app)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var sum uint64
+	for i := 0; i < bits; i++ {
+		sum |= res.Load(vals+uint64(sums[i])*8) << i
+	}
+	sum |= res.Load(vals+uint64(cout)*8) << bits
+	fmt.Printf("%d + %d + %d = %d (circuit of %d NAND gates)\n", av, bv, cv, sum, len(nl.gates))
+	fmt.Printf("simulated: %d cycles, %d gate events committed, %d aborted\n",
+		res.Stats.Cycles, res.Stats.Commits, res.Stats.Aborts)
+	if sum != av+bv+cv {
+		log.Fatalf("adder produced %d, want %d", sum, av+bv+cv)
+	}
+}

@@ -1,0 +1,124 @@
+// Package bench implements the paper's six benchmarks — bfs, sssp, astar,
+// msf, des and silo (§2.2, Table 4) — each in three flavors:
+//
+//   - a tuned serial version (the Fig 12 baseline), run in direct mode;
+//   - the state-of-the-art software-parallel version (PBFS, Bellman-Ford,
+//     PBBS-style deterministic reservations, Chandy-Misra-Bryant, Silo;
+//     astar has none, matching the paper), run on the smp machine;
+//   - the Swarm version, decomposed into tiny timestamped tasks.
+//
+// All flavors operate on the same guest-memory data structures and perform
+// the same algorithmic work (§5), and every run is verified against a
+// host-side reference before its cycle count is trusted.
+package bench
+
+import (
+	"fmt"
+
+	"github.com/swarm-sim/swarm/internal/core"
+	"github.com/swarm-sim/swarm/internal/guest"
+)
+
+// Benchmark is one application in all of its flavors.
+type Benchmark interface {
+	// Name returns the paper's benchmark name.
+	Name() string
+	// RunSerial executes the tuned serial version on a machine sized for
+	// nCores (bigger machines have bigger caches, Fig 12) and returns
+	// elapsed cycles after verifying the result.
+	RunSerial(nCores int) (uint64, error)
+	// HasParallel reports whether a software-parallel version exists.
+	HasParallel() bool
+	// RunParallel executes the software-parallel version with one thread
+	// per core and returns elapsed cycles after verifying the result.
+	RunParallel(nCores int) (uint64, error)
+	// RunSwarm executes the Swarm version and returns its statistics
+	// after verifying the result.
+	RunSwarm(cfg core.Config) (core.Stats, error)
+	// SwarmApp exposes the machine-independent Swarm decomposition, used
+	// by the oracle analysis tool (Table 1).
+	SwarmApp() SwarmApp
+	// SerialApp exposes the sequential implementation for the oracle's
+	// ideal-TLS analysis (Table 1 bottom row). The body must call
+	// iterMark at each loop-iteration boundary; work before the first
+	// mark (e.g. msf's edge sort) is prologue, excluded from the
+	// analysis.
+	SerialApp() SerialApp
+}
+
+// SerialApp is a machine-independent sequential implementation.
+type SerialApp struct {
+	Build func(alloc func(uint64) uint64, store func(addr, val uint64)) func(e guest.Env, iterMark func())
+}
+
+// SwarmApp is a machine-independent Swarm program: Build lays out guest
+// memory using the target's setup-time primitives and returns the task
+// function table plus the root tasks. Verify checks the final memory state.
+type SwarmApp struct {
+	Build  func(alloc func(uint64) uint64, store func(addr, val uint64)) ([]guest.TaskFn, []guest.TaskDesc)
+	Verify func(load func(addr uint64) uint64) error
+}
+
+// Program adapts a SwarmApp to a core.Program.
+func (app SwarmApp) Program() *core.Program {
+	p := &core.Program{}
+	p.Setup = func(m *core.Machine) {
+		fns, roots := app.Build(m.SetupAlloc, m.Mem().Store)
+		p.Fns = fns
+		for _, d := range roots {
+			m.EnqueueRootDesc(d)
+		}
+	}
+	return p
+}
+
+// runSwarm builds, runs and verifies a SwarmApp on a machine config.
+func runSwarm(app SwarmApp, cfg core.Config) (core.Stats, error) {
+	m, err := core.NewMachine(cfg, app.Program())
+	if err != nil {
+		return core.Stats{}, err
+	}
+	st, err := m.Run()
+	if err != nil {
+		return core.Stats{}, err
+	}
+	if app.Verify != nil {
+		if err := app.Verify(m.Mem().Load); err != nil {
+			return core.Stats{}, fmt.Errorf("swarm result verification failed: %w", err)
+		}
+	}
+	return st, nil
+}
+
+// spawnRange fans a [lo, hi) index range out as tasks with function
+// edgeFn(ts(i), i), using a tree of spawner tasks to respect the 8-child
+// hardware limit (§4.1: tasks that need more children enqueue tasks that
+// create them). Spawners run at the parent's timestamp.
+//
+// The caller provides the spawner's own function id so spawners can
+// re-enqueue themselves (the function table must map spawnFn to a task
+// that calls SpawnRangeTask).
+const spawnFanout = 8
+
+// spawnRangeTask is the body shared by range-spawner tasks: it either
+// enqueues leaf tasks directly (small ranges) or splits the range among up
+// to spawnFanout sub-spawners.
+func spawnRangeTask(e guest.TaskEnv, spawnFn int, enqueueLeaf func(e guest.TaskEnv, i uint64)) {
+	lo, hi := e.Arg(0), e.Arg(1)
+	n := hi - lo
+	e.Work(4)
+	if n <= spawnFanout {
+		for i := lo; i < hi; i++ {
+			enqueueLeaf(e, i)
+		}
+		return
+	}
+	chunk := (n + spawnFanout - 1) / spawnFanout
+	for s := lo; s < hi; s += chunk {
+		end := s + chunk
+		if end > hi {
+			end = hi
+		}
+		e.Enqueue(spawnFn, e.Timestamp(), s, end)
+	}
+}

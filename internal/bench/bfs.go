@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/swarm-sim/swarm/internal/core"
+	"github.com/swarm-sim/swarm/internal/graph"
+	"github.com/swarm-sim/swarm/internal/guest"
+	"github.com/swarm-sim/swarm/internal/smp"
+	"github.com/swarm-sim/swarm/internal/swrt"
+)
+
+// BFS finds the breadth-first tree of an unstructured mesh (the paper's
+// hugetric input). The mesh is deep (thousands of levels at scale), so the
+// level-synchronous software-parallel version starves while Swarm
+// speculates across levels (§6.2).
+type BFS struct {
+	g   *graph.Graph
+	src int
+	ref []uint64
+}
+
+// NewBFS builds the benchmark on a rows x cols triangulated mesh.
+func NewBFS(rows, cols int) *BFS {
+	g := graph.TriMesh(rows, cols)
+	return &BFS{g: g, src: 0, ref: graph.BFSLevels(g, 0)}
+}
+
+// Name implements Benchmark.
+func (b *BFS) Name() string { return "bfs" }
+
+func (b *BFS) verify(load func(uint64) uint64, gc graph.GuestCSR) error {
+	for u := 0; u < b.g.N; u++ {
+		got := load(gc.DistAddr(uint64(u)))
+		want := b.ref[u]
+		if want == graph.Inf {
+			want = graph.Unvisited
+		}
+		if got != want {
+			return fmt.Errorf("bfs: dist[%d] = %d, want %d", u, got, want)
+		}
+	}
+	return nil
+}
+
+// SwarmApp implements Benchmark: task = visit(node), timestamp = level.
+// Matches Table 1's profile: ~22 instructions, ~4 words read, <1 written.
+func (b *BFS) SwarmApp() SwarmApp {
+	var gc graph.GuestCSR
+	app := SwarmApp{}
+	app.Build = func(alloc func(uint64) uint64, store func(addr, val uint64)) ([]guest.TaskFn, []guest.TaskDesc) {
+		gc = graph.Pack(b.g, alloc, store)
+		visit := func(e guest.TaskEnv) {
+			node := e.Arg(0)
+			e.Work(2)
+			if e.Load(gc.DistAddr(node)) != graph.Unvisited {
+				return // visited path: a shorter level got here first
+			}
+			e.Store(gc.DistAddr(node), e.Timestamp())
+			lo := e.Load(gc.OffAddr(node))
+			hi := e.Load(gc.OffAddr(node + 1))
+			e.Work(10) // visit bookkeeping (calibrated to Table 1: ~22 instrs)
+			for i := lo; i < hi; i++ {
+				child := e.Load(gc.DstAddr(i))
+				e.Work(1)
+				e.Enqueue(0, e.Timestamp()+1, child)
+			}
+		}
+		return []guest.TaskFn{visit}, []guest.TaskDesc{{Fn: 0, TS: 0, Args: [3]uint64{uint64(b.src)}}}
+	}
+	app.Verify = func(load func(uint64) uint64) error { return b.verify(load, gc) }
+	return app
+}
+
+// RunSwarm implements Benchmark.
+func (b *BFS) RunSwarm(cfg core.Config) (core.Stats, error) {
+	return runSwarm(b.SwarmApp(), cfg)
+}
+
+// RunSerial implements Benchmark: the tuned serial bfs needs no priority
+// queue — an efficient FIFO holds the frontier (§6.2).
+func (b *BFS) RunSerial(nCores int) (uint64, error) {
+	m := smp.NewSerialMachine(smp.DefaultConfig(nCores))
+	gc := graph.Pack(b.g, m.SetupAlloc, m.Mem().Store)
+	q := swrt.NewFIFO(m.SetupAlloc, uint64(b.g.N)+1)
+	cycles := m.Run(func(e guest.Env) {
+		b.serialBody(e, gc, q, func() {})
+	})
+	return cycles, b.verify(m.Mem().Load, gc)
+}
+
+// serialBody is the serial algorithm; iterMark flags iteration boundaries
+// for the oracle's TLS analysis.
+func (b *BFS) serialBody(e guest.Env, gc graph.GuestCSR, q swrt.FIFO, iterMark func()) {
+	e.Store(gc.DistAddr(uint64(b.src)), 0)
+	q.Push(e, uint64(b.src))
+	for {
+		iterMark()
+		u, ok := q.Pop(e)
+		if !ok {
+			return
+		}
+		du := e.Load(gc.DistAddr(u))
+		lo := e.Load(gc.OffAddr(u))
+		hi := e.Load(gc.OffAddr(u + 1))
+		e.Work(2)
+		for i := lo; i < hi; i++ {
+			v := e.Load(gc.DstAddr(i))
+			e.Work(1)
+			if e.Load(gc.DistAddr(v)) == graph.Unvisited {
+				e.Store(gc.DistAddr(v), du+1)
+				q.Push(e, v)
+			}
+		}
+	}
+}
+
+// SerialApp implements Benchmark.
+func (b *BFS) SerialApp() SerialApp {
+	return SerialApp{Build: func(alloc func(uint64) uint64, store func(addr, val uint64)) func(guest.Env, func()) {
+		gc := graph.Pack(b.g, alloc, store)
+		q := swrt.NewFIFO(alloc, uint64(b.g.N)+1)
+		return func(e guest.Env, mark func()) { b.serialBody(e, gc, q, mark) }
+	}}
+}
+
+// HasParallel implements Benchmark.
+func (b *BFS) HasParallel() bool { return true }
+
+// RunParallel implements Benchmark: a PBFS-style level-synchronous
+// parallel BFS — threads share the current frontier, build the next one
+// with atomic appends, and barrier between levels. It only exposes
+// one level of parallelism at a time (§6.2).
+func (b *BFS) RunParallel(nCores int) (uint64, error) {
+	m := smp.NewMachine(smp.DefaultConfig(nCores))
+	gc := graph.Pack(b.g, m.SetupAlloc, m.Mem().Store)
+	n := uint64(b.g.N)
+	frontA := swrt.NewArray(m.SetupAlloc, n)
+	frontB := swrt.NewArray(m.SetupAlloc, n)
+	// Shared control block: [curBase, curCount, nextBase, nextCount,
+	// fetchIdx, level].
+	ctl := m.SetupAlloc(64)
+	bar := swrt.NewBarrier(m.SetupAlloc, uint64(nCores))
+	// Seed the first frontier.
+	m.Mem().Store(ctl, frontA.Base)
+	m.Mem().Store(ctl+8, 1)
+	m.Mem().Store(ctl+16, frontB.Base)
+	m.Mem().Store(frontA.Base, uint64(b.src))
+	m.Mem().Store(gc.DistAddr(uint64(b.src)), 0)
+
+	const chunk = 16
+	st, err := m.Run(func(e guest.ThreadEnv) {
+		var sense uint64
+		for {
+			curBase := e.Load(ctl)
+			curCount := e.Load(ctl + 8)
+			nextBase := e.Load(ctl + 16)
+			level := e.Load(ctl + 40)
+			if curCount == 0 {
+				return
+			}
+			// Chunked grab over the frontier.
+			for {
+				start := e.FetchAdd(ctl+32, chunk)
+				if start >= curCount {
+					break
+				}
+				end := start + chunk
+				if end > curCount {
+					end = curCount
+				}
+				for fi := start; fi < end; fi++ {
+					u := e.Load(curBase + fi*8)
+					lo := e.Load(gc.OffAddr(u))
+					hi := e.Load(gc.OffAddr(u + 1))
+					e.Work(2)
+					for i := lo; i < hi; i++ {
+						v := e.Load(gc.DstAddr(i))
+						e.Work(1)
+						if e.Load(gc.DistAddr(v)) == graph.Unvisited {
+							if e.CAS(gc.DistAddr(v), graph.Unvisited, level+1) {
+								slot := e.FetchAdd(ctl+24, 1)
+								e.Store(nextBase+slot*8, v)
+							}
+						}
+					}
+				}
+			}
+			bar.Wait(e, &sense)
+			if e.ID() == 0 {
+				// Swap frontiers for the next level.
+				nc := e.Load(ctl + 24)
+				e.Store(ctl, nextBase)
+				e.Store(ctl+8, nc)
+				e.Store(ctl+16, curBase)
+				e.Store(ctl+24, 0)
+				e.Store(ctl+32, 0)
+				e.Store(ctl+40, level+1)
+			}
+			bar.Wait(e, &sense)
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return st.Cycles, b.verify(m.Mem().Load, gc)
+}

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/swarm-sim/swarm/internal/core"
+)
+
+// fullSuite returns one small instance of each benchmark.
+func fullSuite() []Benchmark {
+	return []Benchmark{
+		NewBFS(40, 10),
+		NewSSSP(16, 16, 3),
+		NewAStar(18, 18, 4),
+		NewMSF(7, 8, 5),
+		NewDES(3, 8, 2, 6),
+		NewSilo(2, 60, 7),
+	}
+}
+
+// TestStatsAccounting: for every app, the Fig 14 cycle breakdown must
+// account exactly for cores x cycles, and committed cycles must dominate
+// at moderate core counts (the paper's headline: "most time is spent
+// executing tasks that are ultimately committed").
+func TestStatsAccounting(t *testing.T) {
+	for _, b := range fullSuite() {
+		st, err := b.RunSwarm(core.DefaultConfig(8))
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		total := st.TotalCoreCycles()
+		sum := st.CommittedCycles + st.AbortedCycles + st.SpillCycles + st.StallCycles
+		if sum != total {
+			t.Errorf("%s: breakdown %d != total %d", b.Name(), sum, total)
+		}
+		if st.CommittedCycles == 0 {
+			t.Errorf("%s: no committed cycles", b.Name())
+		}
+		if st.Commits == 0 || st.Dequeues < st.Commits {
+			t.Errorf("%s: commits=%d dequeues=%d inconsistent", b.Name(), st.Commits, st.Dequeues)
+		}
+		// Dispatches = commits + aborts of dispatched tasks (requeues
+		// re-dispatch) + spill pseudo-dispatches; at minimum:
+		if st.Dequeues < st.Commits {
+			t.Errorf("%s: fewer dequeues than commits", b.Name())
+		}
+	}
+}
+
+// TestSwarmDeterminismAcrossApps: identical configs reproduce identical
+// cycle counts for every benchmark (the simulator is a pure function).
+func TestSwarmDeterminismAcrossApps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism sweep")
+	}
+	for _, mk := range []func() Benchmark{
+		func() Benchmark { return NewBFS(30, 8) },
+		func() Benchmark { return NewSSSP(12, 12, 3) },
+		func() Benchmark { return NewMSF(6, 8, 5) },
+		func() Benchmark { return NewDES(2, 8, 2, 6) },
+		func() Benchmark { return NewSilo(1, 40, 7) },
+	} {
+		a, err := mk().RunSwarm(core.DefaultConfig(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := mk().RunSwarm(core.DefaultConfig(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cycles != b.Cycles || a.Aborts != b.Aborts || a.Commits != b.Commits {
+			t.Errorf("nondeterministic run: %+v vs %+v", a.Cycles, b.Cycles)
+		}
+	}
+}
+
+// TestSeedChangesPlacementNotResults: different enqueue seeds give
+// different timings but identical verified results (placement is a pure
+// performance knob).
+func TestSeedChangesPlacementNotResults(t *testing.T) {
+	b := NewSSSP(16, 16, 3)
+	cfg1 := core.DefaultConfig(8)
+	cfg1.Seed = 1
+	st1, err := b.RunSwarm(cfg1) // verification inside
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := core.DefaultConfig(8)
+	cfg2.Seed = 999
+	st2, err := b.RunSwarm(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Commits != st2.Commits {
+		t.Errorf("different seeds committed different task counts: %d vs %d", st1.Commits, st2.Commits)
+	}
+}
+
+// TestAllAppsAtOddMachineSizes exercises non-power-of-two and sub-tile
+// machines.
+func TestAllAppsAtOddMachineSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("size sweep")
+	}
+	for _, cores := range []int{1, 2, 12, 20} {
+		b := NewSSSP(12, 12, 3)
+		if _, err := b.RunSwarm(core.DefaultConfig(cores)); err != nil {
+			t.Fatalf("%d cores: %v", cores, err)
+		}
+	}
+}

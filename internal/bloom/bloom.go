@@ -1,0 +1,171 @@
+// Package bloom implements the K-way Bloom-filter read/write-set signatures
+// Swarm uses for conflict detection (§4.3–4.4, Fig 6, Fig 8). The default
+// configuration matches Table 3: 2048-bit, 8-way filters with H3 hash
+// functions (Carter & Wegman). A Precise mode keeps exact line sets, used as
+// the "Precise" series of Fig 17(b).
+package bloom
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// Config describes a signature implementation.
+type Config struct {
+	// Bits is the total filter size in bits across all ways.
+	Bits int
+	// Ways is the number of independently-hashed partitions.
+	Ways int
+	// Precise selects exact (unbounded) line sets instead of Bloom
+	// filters: no false positives, used as the idealized baseline.
+	Precise bool
+}
+
+// Default is the paper's 2048-bit 8-way configuration.
+func Default() Config { return Config{Bits: 2048, Ways: 8} }
+
+func (c Config) String() string {
+	if c.Precise {
+		return "precise"
+	}
+	return fmt.Sprintf("%db/%dway", c.Bits, c.Ways)
+}
+
+// SizeBytes returns the storage for one signature (Table 2 arithmetic).
+func (c Config) SizeBytes() int {
+	if c.Precise {
+		return 0
+	}
+	return c.Bits / 8
+}
+
+func (c Config) validate() {
+	if c.Precise {
+		return
+	}
+	if c.Ways <= 0 || c.Bits <= 0 || c.Bits%c.Ways != 0 {
+		panic(fmt.Sprintf("bloom: invalid config %+v", c))
+	}
+	if w := c.Bits / c.Ways; w&(w-1) != 0 {
+		panic(fmt.Sprintf("bloom: bits/way (%d) must be a power of two", w))
+	}
+}
+
+// hasher holds the H3 hash family for a config: one random 64-row matrix
+// per way. H3 hashes x by XOR-ing the rows selected by the set bits of x.
+// Matrices are derived from a fixed seed so simulations are deterministic.
+type hasher struct {
+	wayBits int // log2(bits per way)
+	rows    [][]uint32
+}
+
+var hasherCache = map[[2]int]*hasher{}
+
+func getHasher(bitsTotal, ways int) *hasher {
+	key := [2]int{bitsTotal, ways}
+	if h, ok := hasherCache[key]; ok {
+		return h
+	}
+	perWay := bitsTotal / ways
+	h := &hasher{wayBits: bits.TrailingZeros(uint(perWay))}
+	rng := rand.New(rand.NewSource(0xb100f))
+	h.rows = make([][]uint32, ways)
+	mask := uint32(perWay - 1)
+	for w := range h.rows {
+		h.rows[w] = make([]uint32, 64)
+		for i := range h.rows[w] {
+			h.rows[w][i] = rng.Uint32() & mask
+		}
+	}
+	hasherCache[key] = h
+	return h
+}
+
+func (h *hasher) hash(way int, x uint64) uint32 {
+	var out uint32
+	rows := h.rows[way]
+	for x != 0 {
+		i := bits.TrailingZeros64(x)
+		out ^= rows[i]
+		x &= x - 1
+	}
+	return out
+}
+
+// Filter is one read- or write-set signature. Insert records a line
+// address; MayContain tests membership with no false negatives.
+type Filter struct {
+	cfg     Config
+	h       *hasher
+	ways    [][]uint64 // bitsets, one per way
+	precise map[uint64]struct{}
+	count   int // inserted lines (diagnostics)
+}
+
+// NewFilter creates an empty signature for the config.
+func NewFilter(cfg Config) *Filter {
+	cfg.validate()
+	f := &Filter{cfg: cfg}
+	if cfg.Precise {
+		f.precise = make(map[uint64]struct{})
+		return f
+	}
+	f.h = getHasher(cfg.Bits, cfg.Ways)
+	perWayWords := (cfg.Bits/cfg.Ways + 63) / 64
+	f.ways = make([][]uint64, cfg.Ways)
+	for i := range f.ways {
+		f.ways[i] = make([]uint64, perWayWords)
+	}
+	return f
+}
+
+// Insert adds a line address to the set.
+func (f *Filter) Insert(line uint64) {
+	f.count++
+	if f.precise != nil {
+		f.precise[line] = struct{}{}
+		return
+	}
+	for w := range f.ways {
+		i := f.h.hash(w, line)
+		f.ways[w][i>>6] |= 1 << (i & 63)
+	}
+}
+
+// MayContain reports whether the line may be in the set. False positives
+// are possible (unless Precise); false negatives are not.
+func (f *Filter) MayContain(line uint64) bool {
+	if f.precise != nil {
+		_, ok := f.precise[line]
+		return ok
+	}
+	for w := range f.ways {
+		i := f.h.hash(w, line)
+		if f.ways[w][i>>6]&(1<<(i&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear empties the signature (a flash-clear in hardware).
+func (f *Filter) Clear() {
+	f.count = 0
+	if f.precise != nil {
+		clear(f.precise)
+		return
+	}
+	for _, w := range f.ways {
+		clear(w)
+	}
+}
+
+// Empty reports whether nothing has been inserted since the last Clear.
+func (f *Filter) Empty() bool { return f.count == 0 }
+
+// Count returns the number of Insert calls since the last Clear.
+func (f *Filter) Count() int { return f.count }
+
+// Config returns the filter's configuration.
+func (f *Filter) Config() Config { return f.cfg }

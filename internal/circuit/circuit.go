@@ -1,0 +1,254 @@
+// Package circuit is the gate-level digital circuit substrate for the des
+// benchmark: netlists, a carry-select adder array generator (standing in
+// for the paper's csaArray32 input), and a topological reference evaluator
+// used to verify simulated runs.
+package circuit
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GateType enumerates gate functions. Input gates are stimulus sources.
+type GateType uint8
+
+const (
+	Input GateType = iota
+	Buf
+	Not
+	And
+	Or
+	Nand
+	Nor
+	Xor
+	Xnor
+	// Mux2 selects In[1] (sel=0) or In[2] (sel=1); In[0] is the select.
+	Mux2
+)
+
+var gateNames = [...]string{"input", "buf", "not", "and", "or", "nand", "nor", "xor", "xnor", "mux2"}
+
+func (t GateType) String() string { return gateNames[t] }
+
+// MaxFanin is the largest gate fanin (Mux2's three).
+const MaxFanin = 3
+
+// Gate is one netlist element.
+type Gate struct {
+	Type  GateType
+	In    []int32 // fanin gate ids
+	Delay uint32  // propagation delay in simulated time units
+}
+
+// Circuit is a combinational netlist (a DAG: every gate's fanins have
+// smaller ids).
+type Circuit struct {
+	Gates   []Gate
+	Inputs  []int32 // stimulus gates
+	Outputs []int32 // observed gates
+	// Fanout[i] lists the gates that consume gate i's output.
+	Fanout [][]int32
+}
+
+// build computes fanout lists and validates the DAG ordering.
+func (c *Circuit) build() error {
+	c.Fanout = make([][]int32, len(c.Gates))
+	for i, g := range c.Gates {
+		if g.Type == Input && len(g.In) != 0 {
+			return fmt.Errorf("circuit: input gate %d has fanins", i)
+		}
+		for _, f := range g.In {
+			if int(f) >= i {
+				return fmt.Errorf("circuit: gate %d consumes later gate %d (not topological)", i, f)
+			}
+			c.Fanout[f] = append(c.Fanout[f], int32(i))
+		}
+		if g.Delay == 0 && g.Type != Input {
+			return fmt.Errorf("circuit: gate %d has zero delay", i)
+		}
+	}
+	return nil
+}
+
+// MaxFanout returns the largest fanout in the circuit.
+func (c *Circuit) MaxFanout() int {
+	m := 0
+	for _, f := range c.Fanout {
+		if len(f) > m {
+			m = len(f)
+		}
+	}
+	return m
+}
+
+// EvalGate computes a gate's output from fanin values.
+func EvalGate(t GateType, in ...uint64) uint64 {
+	b := func(v bool) uint64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	switch t {
+	case Buf:
+		return in[0] & 1
+	case Not:
+		return (in[0] ^ 1) & 1
+	case And:
+		return in[0] & in[1] & 1
+	case Or:
+		return (in[0] | in[1]) & 1
+	case Nand:
+		return b(in[0]&in[1]&1 == 0)
+	case Nor:
+		return b((in[0]|in[1])&1 == 0)
+	case Xor:
+		return (in[0] ^ in[1]) & 1
+	case Xnor:
+		return b((in[0]^in[1])&1 == 0)
+	case Mux2:
+		if in[0]&1 == 0 {
+			return in[1] & 1
+		}
+		return in[2] & 1
+	default:
+		panic(fmt.Sprintf("circuit: cannot evaluate %v", t))
+	}
+}
+
+// TopoEval computes the settled output value of every gate for the given
+// input assignment (the reference fixpoint a correct event-driven
+// simulation must converge to).
+func (c *Circuit) TopoEval(inputs []uint64) []uint64 {
+	if len(inputs) != len(c.Inputs) {
+		panic("circuit: input vector size mismatch")
+	}
+	vals := make([]uint64, len(c.Gates))
+	for i, g := range c.Inputs {
+		vals[g] = inputs[i] & 1
+	}
+	for i, g := range c.Gates {
+		if g.Type == Input {
+			continue
+		}
+		in := make([]uint64, len(g.In))
+		for j, f := range g.In {
+			in[j] = vals[f]
+		}
+		vals[i] = EvalGate(g.Type, in...)
+	}
+	return vals
+}
+
+// builder helps construct netlists.
+type builder struct {
+	gates []Gate
+}
+
+func (b *builder) input() int32 {
+	b.gates = append(b.gates, Gate{Type: Input})
+	return int32(len(b.gates) - 1)
+}
+
+func (b *builder) gate(t GateType, delay uint32, in ...int32) int32 {
+	ins := append([]int32(nil), in...)
+	b.gates = append(b.gates, Gate{Type: t, In: ins, Delay: delay})
+	return int32(len(b.gates) - 1)
+}
+
+// fullAdder returns (sum, carryOut) built from 2 XORs, 2 ANDs and an OR.
+func (b *builder) fullAdder(a, x, cin int32, d uint32) (sum, cout int32) {
+	axb := b.gate(Xor, d, a, x)
+	sum = b.gate(Xor, d, axb, cin)
+	and1 := b.gate(And, d, a, x)
+	and2 := b.gate(And, d, axb, cin)
+	cout = b.gate(Or, d, and1, and2)
+	return
+}
+
+// CSAArray builds a chain of nAdders carry-select adders, each width bits:
+// a low ripple block plus two speculative high blocks (carry-in 0 and 1)
+// muxed by the low block's carry. Adder i's carry-out feeds adder i+1's
+// carry-in, so activity ripples across the array — the structure of the
+// paper's csaArray32 input. gateDelay sets every gate's delay (the
+// conservative baseline's lookahead).
+func CSAArray(nAdders, width int, gateDelay uint32) *Circuit {
+	if width < 2 || width%2 != 0 {
+		panic("circuit: width must be even and >= 2")
+	}
+	b := &builder{}
+	c := &Circuit{}
+	half := width / 2
+	d := gateDelay
+
+	// Constant-0 and constant-1 sources for the speculative blocks.
+	zero := b.input()
+	one := b.input()
+	c.Inputs = append(c.Inputs, zero, one)
+
+	carry := b.input() // array carry-in
+	c.Inputs = append(c.Inputs, carry)
+
+	for ad := 0; ad < nAdders; ad++ {
+		a := make([]int32, width)
+		x := make([]int32, width)
+		for i := 0; i < width; i++ {
+			a[i] = b.input()
+			x[i] = b.input()
+			c.Inputs = append(c.Inputs, a[i], x[i])
+		}
+		// Low ripple block.
+		cin := carry
+		for i := 0; i < half; i++ {
+			var sum int32
+			sum, cin = b.fullAdder(a[i], x[i], cin, d)
+			c.Outputs = append(c.Outputs, sum)
+		}
+		lowCarry := cin
+		// Two speculative high blocks.
+		c0 := zero
+		c1 := one
+		sums0 := make([]int32, half)
+		sums1 := make([]int32, half)
+		for i := 0; i < half; i++ {
+			sums0[i], c0 = b.fullAdder(a[half+i], x[half+i], c0, d)
+			sums1[i], c1 = b.fullAdder(a[half+i], x[half+i], c1, d)
+		}
+		// Select with the low block's carry.
+		for i := 0; i < half; i++ {
+			c.Outputs = append(c.Outputs, b.gate(Mux2, d, lowCarry, sums0[i], sums1[i]))
+		}
+		carry = b.gate(Mux2, d, lowCarry, c0, c1) // adder carry-out
+		c.Outputs = append(c.Outputs, carry)
+	}
+	c.Gates = b.gates
+	if err := c.build(); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Stimulus is a deterministic sequence of input vectors applied at regular
+// intervals.
+type Stimulus struct {
+	Rounds  int
+	Period  uint64
+	Vectors [][]uint64 // Rounds x len(Inputs)
+}
+
+// NewStimulus generates random input rounds. Constant inputs (the first
+// two: zero and one) keep their values.
+func NewStimulus(c *Circuit, rounds int, period uint64, seed int64) *Stimulus {
+	rng := rand.New(rand.NewSource(seed))
+	s := &Stimulus{Rounds: rounds, Period: period}
+	for r := 0; r < rounds; r++ {
+		vec := make([]uint64, len(c.Inputs))
+		vec[0] = 0 // constant zero
+		vec[1] = 1 // constant one
+		for i := 2; i < len(vec); i++ {
+			vec[i] = uint64(rng.Intn(2))
+		}
+		s.Vectors = append(s.Vectors, vec)
+	}
+	return s
+}

@@ -1,0 +1,201 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalGateTruthTables(t *testing.T) {
+	cases := []struct {
+		t    GateType
+		in   []uint64
+		want uint64
+	}{
+		{Buf, []uint64{0}, 0}, {Buf, []uint64{1}, 1},
+		{Not, []uint64{0}, 1}, {Not, []uint64{1}, 0},
+		{And, []uint64{1, 1}, 1}, {And, []uint64{1, 0}, 0},
+		{Or, []uint64{0, 0}, 0}, {Or, []uint64{0, 1}, 1},
+		{Nand, []uint64{1, 1}, 0}, {Nand, []uint64{0, 1}, 1},
+		{Nor, []uint64{0, 0}, 1}, {Nor, []uint64{1, 0}, 0},
+		{Xor, []uint64{1, 1}, 0}, {Xor, []uint64{1, 0}, 1},
+		{Xnor, []uint64{1, 1}, 1}, {Xnor, []uint64{1, 0}, 0},
+		{Mux2, []uint64{0, 1, 0}, 1}, // sel=0 -> in[1]
+		{Mux2, []uint64{1, 1, 0}, 0}, // sel=1 -> in[2]
+	}
+	for _, c := range cases {
+		if got := EvalGate(c.t, c.in...); got != c.want {
+			t.Errorf("%v%v = %d, want %d", c.t, c.in, got, c.want)
+		}
+	}
+}
+
+// Property: the carry-select adder array actually adds.
+func TestCSAArrayAdds(t *testing.T) {
+	const width = 8
+	c := CSAArray(2, width, 1)
+	f := func(a0, b0, a1, b1 uint8, cin bool) bool {
+		inputs := make([]uint64, len(c.Inputs))
+		inputs[0], inputs[1] = 0, 1
+		if cin {
+			inputs[2] = 1
+		}
+		// Inputs after [zero, one, carry] are interleaved a[i], b[i] per
+		// adder.
+		setOperand := func(adder int, a, b uint8) {
+			base := 3 + adder*2*width
+			for i := 0; i < width; i++ {
+				inputs[base+2*i] = uint64(a>>i) & 1
+				inputs[base+2*i+1] = uint64(b>>i) & 1
+			}
+		}
+		setOperand(0, a0, b0)
+		setOperand(1, a1, b1)
+		vals := c.TopoEval(inputs)
+
+		// Outputs per adder: width sum bits then the carry-out.
+		readSum := func(adder int) (uint64, uint64) {
+			var s uint64
+			for i := 0; i < width; i++ {
+				s |= vals[c.Outputs[adder*(width+1)+i]] << i
+			}
+			return s, vals[c.Outputs[adder*(width+1)+width]]
+		}
+		ci := uint64(0)
+		if cin {
+			ci = 1
+		}
+		t0 := uint64(a0) + uint64(b0) + ci
+		s0, c0 := readSum(0)
+		if s0 != t0&0xff || c0 != t0>>width {
+			return false
+		}
+		// Adder 1 consumes adder 0's carry-out (chained).
+		t1 := uint64(a1) + uint64(b1) + c0
+		s1, c1 := readSum(1)
+		return s1 == t1&0xff && c1 == t1>>width
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSAArrayStructure(t *testing.T) {
+	c := CSAArray(4, 8, 3)
+	if len(c.Gates) == 0 || c.MaxFanout() == 0 {
+		t.Fatal("empty circuit")
+	}
+	// DAG property enforced by build(); delays set.
+	for i, g := range c.Gates {
+		if g.Type != Input && g.Delay != 3 {
+			t.Fatalf("gate %d delay = %d", i, g.Delay)
+		}
+	}
+	// The mux select (low-block carry) must have high fanout: that is
+	// what forces fanout spawner chains in the Swarm version.
+	if c.MaxFanout() < 5 {
+		t.Fatalf("max fanout %d suspiciously low for a carry-select adder", c.MaxFanout())
+	}
+}
+
+func TestStimulusDeterminism(t *testing.T) {
+	c := CSAArray(2, 4, 1)
+	a := NewStimulus(c, 5, 100, 9)
+	b := NewStimulus(c, 5, 100, 9)
+	for r := range a.Vectors {
+		for i := range a.Vectors[r] {
+			if a.Vectors[r][i] != b.Vectors[r][i] {
+				t.Fatal("stimulus not deterministic")
+			}
+		}
+	}
+	if a.Vectors[0][0] != 0 || a.Vectors[0][1] != 1 {
+		t.Fatal("constant inputs not pinned")
+	}
+}
+
+// TestReferenceEventSimAgreesWithTopo: a simple host-side event-driven
+// simulation must settle to the topological fixpoint (the gold standard
+// the guest versions are also checked against).
+func TestReferenceEventSimAgreesWithTopo(t *testing.T) {
+	c := CSAArray(3, 6, 2)
+	rng := rand.New(rand.NewSource(4))
+	vals := make([]uint64, len(c.Gates))
+	// Host event sim: (time, gate) heap.
+	type ev struct {
+		t    uint64
+		gate int32
+	}
+	var heapEv []ev
+	push := func(e ev) {
+		heapEv = append(heapEv, e)
+		i := len(heapEv) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if heapEv[p].t <= heapEv[i].t {
+				break
+			}
+			heapEv[p], heapEv[i] = heapEv[i], heapEv[p]
+			i = p
+		}
+	}
+	pop := func() ev {
+		top := heapEv[0]
+		n := len(heapEv) - 1
+		heapEv[0] = heapEv[n]
+		heapEv = heapEv[:n]
+		i := 0
+		for {
+			l, r, s := 2*i+1, 2*i+2, i
+			if l < n && heapEv[l].t < heapEv[s].t {
+				s = l
+			}
+			if r < n && heapEv[r].t < heapEv[s].t {
+				s = r
+			}
+			if s == i {
+				break
+			}
+			heapEv[i], heapEv[s] = heapEv[s], heapEv[i]
+			i = s
+		}
+		return top
+	}
+
+	inputs := make([]uint64, len(c.Inputs))
+	inputs[1] = 1
+	for i := 2; i < len(inputs); i++ {
+		inputs[i] = uint64(rng.Intn(2))
+	}
+	for i, g := range c.Inputs {
+		vals[g] = inputs[i]
+		for _, fo := range c.Fanout[g] {
+			push(ev{uint64(c.Gates[fo].Delay), fo})
+		}
+	}
+	steps := 0
+	for len(heapEv) > 0 {
+		e := pop()
+		g := c.Gates[e.gate]
+		in := make([]uint64, len(g.In))
+		for j, f := range g.In {
+			in[j] = vals[f]
+		}
+		nv := EvalGate(g.Type, in...)
+		if nv != vals[e.gate] {
+			vals[e.gate] = nv
+			for _, fo := range c.Fanout[e.gate] {
+				push(ev{e.t + uint64(c.Gates[fo].Delay), fo})
+			}
+		}
+		if steps++; steps > 1_000_000 {
+			t.Fatal("event sim diverged")
+		}
+	}
+	want := c.TopoEval(inputs)
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("gate %d settled to %d, topo says %d", i, vals[i], want[i])
+		}
+	}
+}

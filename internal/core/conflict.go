@@ -1,0 +1,286 @@
+package core
+
+import (
+	"github.com/swarm-sim/swarm/internal/cache"
+	"github.com/swarm-sim/swarm/internal/guest"
+	"github.com/swarm-sim/swarm/internal/mem"
+	"github.com/swarm-sim/swarm/internal/noc"
+)
+
+// access performs one conflict-checked, eagerly-versioned memory access
+// (§4.3–4.4). It returns the access latency and, for loads, the value.
+//
+// Check hierarchy (Fig 7): L1 load hits are conflict-free; everything else
+// checks the local tile (other cores + commit queue signatures); L2 misses
+// and canary failures additionally check the tiles named by the L3
+// directory's sharer/sticky bits. Any later-virtual-time conflicting task
+// is aborted. Thanks to eager versioning, reads always see the latest
+// (possibly speculative) value in place — data forwarding needs no logic.
+func (m *Machine) access(c *cpu, t *task, op guest.Op) (lat, val uint64) {
+	isWrite := op.Kind == guest.OpStore
+	line := mem.Line(op.Addr)
+	res := m.hier.Access(cache.Access{
+		Core: c.id, Tile: c.tile, Line: line,
+		Write: isWrite, Spec: t.spec(), VT: t.vt,
+	})
+	lat = res.Latency
+
+	if t.spec() {
+		var victims []*task
+		if !(res.L1Hit && !isWrite) {
+			cost, _ := m.checkTile(c.tile, t, line, isWrite, &victims)
+			lat += m.checkLat(cost)
+		}
+		if res.NeedGlobalCheck {
+			// Copy: the result buffer is reused by nested accesses.
+			tilesToCheck := append([]int(nil), res.CheckTiles...)
+			for _, tl := range tilesToCheck {
+				cost, present := m.checkTile(tl, t, line, isWrite, &victims)
+				// Directory forwards the check; requester waits for the
+				// farthest response.
+				lat += m.checkLat(cost + 2*m.mesh.Latency(c.tile, tl))
+				m.mesh.Send(c.tile, tl, noc.ClassMem, noc.HeaderBytes)
+				m.mesh.Send(tl, c.tile, noc.ClassMem, noc.HeaderBytes)
+				if !present {
+					m.hier.ClearSticky(line, tl)
+				}
+			}
+		}
+		for _, v := range victims {
+			m.abortTask(v, false)
+		}
+		if isWrite {
+			t.ws.Insert(line)
+		} else {
+			t.rs.Insert(line)
+		}
+	}
+
+	if isWrite {
+		// Eager versioning: log the old value, write in place.
+		if t.spec() {
+			t.undo = append(t.undo, undoRec{addr: op.Addr, old: m.gmem.Load(op.Addr)})
+		}
+		m.gmem.Store(op.Addr, op.Val)
+	} else {
+		val = m.gmem.Load(op.Addr)
+	}
+	if debugAccessHook != nil {
+		if !isWrite {
+			op.Val = val
+		}
+		debugAccessHook(m, t, op, res)
+	}
+	return lat, val
+}
+
+// debugAccessHook, when set by tests, observes every conflict-checked
+// access after it is applied.
+var debugAccessHook func(m *Machine, t *task, op guest.Op, res cache.Result)
+
+// debugAbortHook, when set by tests, observes every abort.
+var debugAbortHook func(m *Machine, victim *task, discard bool)
+
+// debugProbeHook, when set by tests, observes every conflict probe.
+var debugProbeHook func(accessor *task, tileID int, v *task)
+
+func (m *Machine) checkLat(l uint64) uint64 {
+	if m.cfg.Cache.ZeroLatency {
+		return 0
+	}
+	return l
+}
+
+// checkTile probes one tile's speculative state — tasks on its cores plus
+// its commit queue — for conflicts with the accessor (Fig 8). It returns
+// the check cost (base + one cycle per virtual-time comparison, Table 3)
+// and whether ANY signature in the tile holds the line (used for lazy
+// sticky-bit cleanup: a sticky bit may only be cleared when the tile has no
+// speculative state for the line at all — a reader that does not conflict
+// with this load must stay visible to future writes). Later-virtual-time
+// conflictors are appended to victims.
+func (m *Machine) checkTile(tileID int, accessor *task, line uint64, isWrite bool, victims *[]*task) (cost uint64, anySpec bool) {
+	cost = m.cfg.TileCheckCost
+	m.st.bloomChecks++
+	tt := m.tiles[tileID]
+
+	probe := func(v *task) {
+		if debugProbeHook != nil {
+			debugProbeHook(accessor, tileID, v)
+		}
+		if v == nil || v == accessor || !v.spec() {
+			return
+		}
+		switch v.state {
+		case taskRunning, taskFinishing, taskFinished:
+		default:
+			return
+		}
+		inWS := v.ws.MayContain(line)
+		inRS := v.rs.MayContain(line)
+		if inWS || inRS {
+			anySpec = true
+		}
+		// A write conflicts with earlier reads and writes of later tasks;
+		// a read conflicts only with later writes.
+		if !(inWS || (isWrite && inRS)) {
+			return
+		}
+		cost++
+		m.st.vtCompares++
+		if accessor.vt.Less(v.vt) {
+			*victims = append(*victims, v)
+		}
+	}
+
+	base := tileID * m.cfg.CoresPerTile
+	for i := 0; i < m.cfg.CoresPerTile; i++ {
+		probe(m.cores[base+i].task)
+	}
+	for _, v := range tt.commitQ {
+		probe(v)
+	}
+	for _, v := range tt.finishWait {
+		probe(v)
+	}
+	return cost, anySpec
+}
+
+// abortTask squashes a task and, transitively, its dependents (§4.5,
+// Fig 10): children are aborted and discarded; the undo log is walked in
+// LIFO order, and each restored write is conflict-checked so tasks that
+// read the squashed data abort too. Conflict victims (discard=false) are
+// returned to their task queue to re-execute; children of aborted parents
+// (discard=true) are removed entirely — the parent will recreate them.
+func (m *Machine) abortTask(t *task, discard bool) {
+	switch t.state {
+	case taskCommitted, taskKilled:
+		return
+	case taskIdle:
+		if !discard {
+			return // an idle task has no speculative state to squash
+		}
+		tt := m.tiles[t.tile]
+		tt.idleQ.Remove(t)
+		t.state = taskKilled
+		m.freeSlot(t)
+		return
+	}
+
+	m.st.aborts++
+	tt := m.tiles[t.tile]
+	tt.abortsCount++
+	if debugAbortHook != nil {
+		debugAbortHook(m, t, discard)
+	}
+
+	// 1. Notify children to abort and be removed from their task queues.
+	children := t.children
+	t.children = nil
+	for _, ch := range children {
+		m.mesh.Send(t.tile, ch.tile, noc.ClassAbort, noc.AbortMsgBytes)
+		m.abortTask(ch, true)
+	}
+
+	// Detach from core / commit queue.
+	switch t.state {
+	case taskRunning:
+		if t.pendingEv != nil {
+			// Refund the charged-but-unelapsed cycles of the in-flight
+			// operation so cycle accounting sums exactly.
+			if rem := t.pendingEv.Cycle() - m.eng.Now(); rem > 0 {
+				if rem > t.cyc {
+					rem = t.cyc
+				}
+				t.cyc -= rem
+				m.cores[t.core].wallWorker -= rem
+			}
+			t.pendingEv.Cancel()
+			t.pendingEv = nil
+		}
+		if t.co != nil {
+			t.co.Resume(guest.Result{Abort: true}) // unwind the guest
+			t.co = nil
+		}
+		c := m.cores[t.core]
+		c.abortedCyc += t.cyc
+		c.task = nil
+		t.core = -1
+		m.scheduleDispatch(c, 1)
+	case taskFinishing:
+		tt.finishWait = removeTask(tt.finishWait, t)
+		c := m.cores[t.core]
+		c.abortedCyc += t.cyc
+		c.task = nil
+		t.core = -1
+		m.scheduleDispatch(c, 1)
+	case taskFinished:
+		tt.commitQ = removeTask(tt.commitQ, t)
+		if t.core >= 0 {
+			panic("core: finished task still bound to a core")
+		}
+		m.cores[m.ranCore(t)].abortedCyc += t.cyc
+	}
+
+	// 2. Walk the undo log in LIFO order. Each restore is a conflict-
+	// checked write at t's virtual time: later readers/writers abort
+	// first (restoring their own state), then the old value goes back.
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		rec := t.undo[i]
+		m.rollbackWrite(t, rec.addr)
+		m.gmem.Store(rec.addr, rec.old)
+		m.mesh.Account(t.tile, noc.ClassAbort, noc.HeaderBytes+mem.WordBytes)
+	}
+	t.undo = t.undo[:0]
+
+	// 3. Clear signatures; free the commit queue entry.
+	t.rs.Clear()
+	t.ws.Clear()
+	m.heap.DropQuarantine(t.allocToken)
+	t.allocToken = m.nextToken()
+	t.cyc = 0
+	t.vt = vt0
+
+	if discard {
+		t.state = taskKilled
+		m.freeSlot(t)
+	} else {
+		t.state = taskIdle
+		t.seq = m.nextSeq()
+		tt.idleQ.Push(t)
+		m.wakeOneStalled(tt)
+	}
+	m.promoteFinishWaiters(tt)
+}
+
+// ranCore returns the core that executed a no-longer-running task; cycle
+// attribution needs it. We recover it from the virtual time's tile plus a
+// remembered core id.
+func (m *Machine) ranCore(t *task) int {
+	if t.lastCore >= 0 {
+		return t.lastCore
+	}
+	return t.tile * m.cfg.CoresPerTile
+}
+
+// rollbackWrite aborts every later-virtual-time task that read or wrote the
+// line, using the directory's sharer/sticky bits to find candidate tiles —
+// the same conflict-detection logic as normal operation (§4.5).
+func (m *Machine) rollbackWrite(t *task, addr uint64) {
+	line := mem.Line(addr)
+	mask := m.hier.DirTiles(line) | 1<<uint(t.tile)
+	var victims []*task
+	for tl := 0; tl < m.cfg.Tiles; tl++ {
+		if mask&(1<<uint(tl)) == 0 {
+			continue
+		}
+		// A rollback write behaves as a write: it conflicts with later
+		// readers and writers.
+		m.checkTile(tl, t, line, true, &victims)
+	}
+	for _, v := range victims {
+		if t.vt.Less(v.vt) {
+			m.abortTask(v, false)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import "fmt"
+
+// Hardware cost model for the per-tile task unit structures, reproducing
+// Table 2 ("Sizes and estimated areas of main task unit structures").
+//
+// Area constants are derived from the paper's own CACTI-32nm / 28nm-TCAM
+// numbers: 0.056mm2 for a 12.75KB single-port SRAM, 0.304mm2 for a 32KB
+// dual-port SRAM, and 0.175mm2 for a 4KB TCAM.
+const (
+	sramMM2PerKB      = 0.056 / 12.75
+	sram2PortMM2PerKB = 0.304 / 32.0
+	tcamMM2PerKB      = 0.175 / 4.0
+
+	// Entry sizes from Table 2.
+	taskQueueEntryBytes   = 51 // function ptr + timestamp + args
+	commitQueueOtherBytes = 36 // unique VT + undo log ptr + children ptrs
+	orderQueueEntryBytes  = 16 // two 8B timestamp TCAM entries
+)
+
+// CostRow is one row of Table 2.
+type CostRow struct {
+	Name      string
+	Entries   int
+	EntryDesc string
+	SizeKB    float64
+	AreaMM2   float64
+}
+
+// CostModel returns the Table 2 rows for this configuration, per tile.
+func (c Config) CostModel() []CostRow {
+	tq := c.TaskQPerTile()
+	cq := c.CommitQPerTile()
+	sigBytes := 2 * c.Bloom.SizeBytes() // read + write set per entry
+
+	rows := []CostRow{
+		{
+			Name:      "Task queue",
+			Entries:   tq,
+			EntryDesc: fmt.Sprintf("%dB", taskQueueEntryBytes),
+			SizeKB:    float64(tq*taskQueueEntryBytes) / 1024,
+		},
+		{
+			Name:      "Commit queue filters",
+			Entries:   cq,
+			EntryDesc: fmt.Sprintf("%dx32B", sigBytes/32),
+			SizeKB:    float64(cq*sigBytes) / 1024,
+		},
+		{
+			Name:      "Commit queue other",
+			Entries:   cq,
+			EntryDesc: fmt.Sprintf("%dB", commitQueueOtherBytes),
+			SizeKB:    float64(cq*commitQueueOtherBytes) / 1024,
+		},
+		{
+			Name:      "Order queue",
+			Entries:   tq,
+			EntryDesc: "2x8B",
+			SizeKB:    float64(tq*orderQueueEntryBytes) / 1024,
+		},
+	}
+	rows[0].AreaMM2 = rows[0].SizeKB * sramMM2PerKB
+	rows[1].AreaMM2 = rows[1].SizeKB * sram2PortMM2PerKB
+	rows[2].AreaMM2 = rows[2].SizeKB * sramMM2PerKB
+	rows[3].AreaMM2 = rows[3].SizeKB * tcamMM2PerKB
+	return rows
+}
+
+// TotalAreaMM2 sums the per-tile task unit area and scales it to the chip.
+func (c Config) TotalAreaMM2() (perTile, perChip float64) {
+	for _, r := range c.CostModel() {
+		perTile += r.AreaMM2
+	}
+	return perTile, perTile * float64(c.Tiles)
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/swarm-sim/swarm/internal/noc"
+	"github.com/swarm-sim/swarm/internal/vt"
+)
+
+// gvtRound runs the global virtual time protocol (Fig 9): every GVTPeriod
+// cycles, tiles send the smallest virtual time of any unfinished task to
+// the arbiter; the arbiter broadcasts the minimum; all finished tasks that
+// precede the GVT commit. Amortizing commits over the large commit queues
+// is what makes ordered commits scale (§4.6).
+func (m *Machine) gvtRound() {
+	if m.systemEmpty() {
+		m.done = true
+		return // no reschedule: the event queue drains and Run returns
+	}
+
+	now := m.eng.Now()
+	gvt := vt.Infinity
+	for _, tt := range m.tiles {
+		tv := m.tileMinVT(tt, now)
+		if tv.Less(gvt) {
+			gvt = tv
+		}
+		m.mesh.Account(tt.id, noc.ClassGVT, noc.GVTMsgBytes)
+	}
+	// Arbiter broadcast (the arbiter sits by tile 0).
+	m.mesh.Account(0, noc.ClassGVT, noc.GVTMsgBytes*m.cfg.Tiles)
+	m.gvt = gvt
+	m.st.gvtUpdates++
+	if m.cfg.DebugChecks && m.st.gvtUpdates%2000 == 0 {
+		fmt.Printf("DBG cycle=%d %s\n", now, m.describeState())
+	}
+
+	// Queue occupancy sampling (Fig 15) — before the commit round, which
+	// drains the commit queues (sampling after would always see the
+	// post-commit minimum).
+	for _, tt := range m.tiles {
+		m.st.tqOccSum += uint64(tt.nTasks)
+		m.st.cqOccSum += uint64(len(tt.commitQ) + len(tt.finishWait))
+	}
+	m.st.occSamples++
+
+	m.commitRound(gvt)
+	for _, tt := range m.tiles {
+		m.unblockTile(tt, now)
+	}
+
+	m.eng.After(m.cfg.GVTPeriod, m.gvtRound)
+}
+
+// unblockTile enforces the §4.7 progress rule from the arbiter's side:
+// always prioritize earlier-virtual-time tasks, aborting later ones if
+// needed. If an earlier task sits idle in the task queue while every core
+// holds a later speculative task that is STUCK — stalled for a commit
+// queue entry, blocked behind a full commit queue, or spinning in an
+// enqueue-NACK backoff loop — the highest-virtual-time on-core task is
+// aborted so the earlier task (typically the next GVT task, whose enqueues
+// may overflow to memory) can run. The arrival-time "Cores" policy cannot
+// fire in these states because no new insertions are happening, so the
+// check is repeated at GVT rounds.
+func (m *Machine) unblockTile(tt *tile, now uint64) {
+	if m.cfg.UnboundedQueues {
+		return
+	}
+	minIdle := tt.idleQ.Min()
+	if minIdle == nil {
+		return
+	}
+	bound := minIdle.boundVT(now)
+	cqFull := len(tt.commitQ) >= m.cfg.CommitQPerTile()
+	var maxT *task
+	base := tt.id * m.cfg.CoresPerTile
+	for i := 0; i < m.cfg.CoresPerTile; i++ {
+		t := m.cores[base+i].task
+		if t == nil || !t.spec() {
+			return // a free core or a progressing coalescer/splitter
+		}
+		stuck := t.state == taskFinishing ||
+			(t.state == taskRunning && (cqFull || t.inBackoff))
+		if !stuck {
+			return // an on-core task is making progress
+		}
+		if t.vt.Less(bound) {
+			return // an on-core task already precedes the idle one
+		}
+		if maxT == nil || maxT.vt.Less(t.vt) {
+			maxT = t
+		}
+	}
+	if maxT != nil {
+		m.st.policyAborts++
+		m.abortTask(maxT, false)
+	}
+}
+
+// tileMinVT computes the smallest virtual time of any unfinished task in
+// the tile: running tasks use their unique virtual time; idle tasks and
+// memory-resident descriptors (overflow buffers, in-flight coalescer
+// batches) use (timestamp, now, tile) (§4.6).
+func (m *Machine) tileMinVT(tt *tile, now uint64) vt.Time {
+	minV := vt.Infinity
+	base := tt.id * m.cfg.CoresPerTile
+	for i := 0; i < m.cfg.CoresPerTile; i++ {
+		if t := m.cores[base+i].task; t != nil && t.state == taskRunning {
+			minV = vt.Min(minV, t.vt)
+		}
+	}
+	if t := tt.idleQ.Min(); t != nil {
+		minV = vt.Min(minV, vt.Time{TS: t.desc.TS, Cycle: now, Tile: uint32(tt.id)})
+	}
+	if len(tt.overflow) > 0 {
+		minV = vt.Min(minV, vt.Time{TS: tt.overflow[0].TS, Cycle: now, Tile: uint32(tt.id)})
+	}
+	if tt.coalescerLive {
+		minV = vt.Min(minV, vt.Time{TS: tt.coalescerTS, Cycle: now, Tile: uint32(tt.id)})
+	}
+	return minV
+}
+
+// commitRound commits every finished task with virtual time < gvt, in
+// virtual-time order (parents before children).
+func (m *Machine) commitRound(gvt vt.Time) {
+	var ready []*task
+	for _, tt := range m.tiles {
+		for _, t := range tt.commitQ {
+			if t.vt.Less(gvt) {
+				ready = append(ready, t)
+			}
+		}
+		for _, t := range tt.finishWait {
+			// A finished task stalled for a commit queue entry can
+			// commit directly once ordered before the GVT.
+			if t.vt.Less(gvt) {
+				ready = append(ready, t)
+			}
+		}
+	}
+	if len(ready) == 0 {
+		return
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i].vt.Less(ready[j].vt) })
+	for _, t := range ready {
+		m.commitTask(t)
+	}
+	for _, tt := range m.tiles {
+		m.promoteFinishWaiters(tt)
+		m.checkSpillTrigger(tt)
+	}
+}
+
+// commitTask retires one task: eager versioning makes this a single-cycle
+// operation — free the task and commit queue entries (§4.6).
+func (m *Machine) commitTask(t *task) {
+	if m.cfg.DebugChecks {
+		m.assertCommitOrder(t)
+	}
+	tt := m.tiles[t.tile]
+	switch t.state {
+	case taskFinished:
+		tt.commitQ = removeTask(tt.commitQ, t)
+	case taskFinishing:
+		tt.finishWait = removeTask(tt.finishWait, t)
+		// The stalled task still holds its core; release it.
+		m.releaseCore(m.cores[t.core], t)
+	default:
+		panic("core: committing a task that is not finished")
+	}
+	t.state = taskCommitted
+	m.st.commits++
+	tt.commitsCount++
+	if t.lastCore >= 0 {
+		m.cores[t.lastCore].committedCyc += t.cyc
+	}
+	m.heap.ReleaseQuarantine(t.allocToken)
+	for _, ch := range t.children {
+		ch.parent = nil // children of committed parents are non-speculative
+	}
+	t.children = nil
+	t.undo = nil
+	m.freeSlot(t)
+}
+
+// assertCommitOrder panics if any unfinished task anywhere could still
+// order before a committing task — i.e. the GVT protocol let a commit jump
+// the order. Debug builds only.
+func (m *Machine) assertCommitOrder(t *task) {
+	now := m.eng.Now()
+	for _, tt := range m.tiles {
+		for _, u := range tt.idleQ.h {
+			if b := u.boundVT(now); b.Less(t.vt) {
+				panic(fmt.Sprintf("core: committing %v but idle task ts=%d could precede it", t.vt, u.desc.TS))
+			}
+		}
+		for _, d := range tt.overflow {
+			if (vt.Time{TS: d.TS, Cycle: now, Tile: uint32(tt.id)}).Less(t.vt) {
+				panic(fmt.Sprintf("core: committing %v but overflow ts=%d could precede it", t.vt, d.TS))
+			}
+		}
+		if tt.coalescerLive {
+			if (vt.Time{TS: tt.coalescerTS, Cycle: now, Tile: uint32(tt.id)}).Less(t.vt) {
+				panic(fmt.Sprintf("core: committing %v but coalescer batch ts=%d could precede it", t.vt, tt.coalescerTS))
+			}
+		}
+	}
+	for _, c := range m.cores {
+		if u := c.task; u != nil && u != t && u.state == taskRunning && u.vt.Less(t.vt) {
+			panic(fmt.Sprintf("core: committing %v but running task %v precedes it", t.vt, u.vt))
+		}
+	}
+	for _, b := range m.spillStore {
+		for _, d := range b {
+			if (vt.Time{TS: d.TS, Cycle: now}).Less(t.vt) {
+				panic(fmt.Sprintf("core: committing %v but spilled ts=%d could precede it", t.vt, d.TS))
+			}
+		}
+	}
+}
+
+// systemEmpty reports whether no work remains anywhere: the termination
+// condition (§4.1: when no tasks are left and all threads stall on
+// dequeue, the algorithm has terminated).
+func (m *Machine) systemEmpty() bool {
+	for _, tt := range m.tiles {
+		if tt.nTasks != 0 || len(tt.overflow) != 0 || tt.coalescing || tt.coalescerLive {
+			return false
+		}
+	}
+	for _, c := range m.cores {
+		if c.task != nil {
+			return false
+		}
+	}
+	return len(m.spillStore) == 0
+}

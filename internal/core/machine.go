@@ -1,0 +1,617 @@
+package core
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/swarm-sim/swarm/internal/bloom"
+	"github.com/swarm-sim/swarm/internal/cache"
+	"github.com/swarm-sim/swarm/internal/guest"
+	"github.com/swarm-sim/swarm/internal/mem"
+	"github.com/swarm-sim/swarm/internal/noc"
+	"github.com/swarm-sim/swarm/internal/sim"
+	"github.com/swarm-sim/swarm/internal/vt"
+)
+
+// Program is a Swarm application: a table of task functions plus a Setup
+// hook that initializes guest memory and enqueues the root task(s). Setup
+// runs before the measured parallel region (the paper fast-forwards through
+// initialization, §5).
+type Program struct {
+	Fns   []guest.TaskFn
+	Setup func(*Machine)
+}
+
+// cpu is one simple core (IPC-1 except misses and Swarm instructions).
+type cpu struct {
+	id, tile int
+	task     *task
+
+	lastVT  vt.Time
+	everRan bool
+
+	dispatchPending bool
+	inStallList     bool
+
+	// wall-clock busy accounting (worker vs spill); stall is the
+	// remainder of elapsed time.
+	wallWorker uint64
+	wallSpill  uint64
+	// outcome attribution (Fig 14): filled when tasks commit or abort.
+	committedCyc uint64
+	abortedCyc   uint64
+}
+
+// tile is one task unit: task queue + order queue + commit queue (§4.2).
+type tile struct {
+	id     int
+	nTasks int // occupied task queue entries
+
+	idleQ      orderQueue
+	commitQ    []*task
+	finishWait []*task // finished tasks stalled waiting for a CQ entry
+
+	// overflow holds task descriptors spilled to memory when the queue is
+	// full and the enqueuer is the GVT task (§4.7 deadlock avoidance).
+	// It is a min-heap on timestamp.
+	overflow descHeap
+
+	lastDequeue   uint64
+	everDequeued  bool
+	stalledCores  []int
+	coalescing    bool
+	coalescerTS   uint64 // min timestamp of an in-flight coalescer batch
+	coalescerLive bool
+	spillWanted   bool
+	commitsCount  uint64 // per-tile, for tracing
+	abortsCount   uint64
+}
+
+// Machine is a full Swarm CMP.
+type Machine struct {
+	cfg  Config
+	eng  sim.Engine
+	gmem *mem.Memory
+	heap *mem.Allocator
+	mesh *noc.Mesh
+	hier *cache.Hierarchy
+
+	tiles []*tile
+	cores []*cpu
+	prog  *Program
+	rng   *rand.Rand
+
+	seqCtr   uint64
+	tokCtr   uint64
+	batchCtr uint64
+
+	spillStore map[uint64][]guest.TaskDesc
+
+	gvt  vt.Time
+	done bool
+
+	filterPool []*bloom.Filter
+
+	st      internalStats
+	tracer  *tracer
+	started bool
+}
+
+// NewMachine builds a machine for the config and program.
+func NewMachine(cfg Config, prog *Program) (*Machine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if prog == nil || prog.Setup == nil {
+		return nil, errors.New("core: program must have a Setup hook")
+	}
+	m := &Machine{
+		cfg:        cfg,
+		gmem:       mem.New(),
+		heap:       mem.NewAllocator(),
+		mesh:       noc.New(cfg.Tiles, cfg.HopCycles),
+		prog:       prog,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		spillStore: make(map[uint64][]guest.TaskDesc),
+	}
+	m.hier = cache.New(cfg.Cache, m.mesh)
+	m.tiles = make([]*tile, cfg.Tiles)
+	for i := range m.tiles {
+		m.tiles[i] = &tile{id: i}
+	}
+	m.cores = make([]*cpu, cfg.Cores())
+	for i := range m.cores {
+		m.cores[i] = &cpu{id: i, tile: i / cfg.CoresPerTile}
+	}
+	if cfg.TraceInterval > 0 {
+		m.tracer = newTracer(m)
+	}
+	return m, nil
+}
+
+// Mem exposes guest memory (for Setup and for result verification).
+func (m *Machine) Mem() *mem.Memory { return m.gmem }
+
+// SetupAlloc allocates guest memory with no simulated cost; valid in Setup
+// (initialization is outside the measured region).
+func (m *Machine) SetupAlloc(nBytes uint64) uint64 { return m.heap.AllocLineAligned(nBytes) }
+
+// Now returns the current cycle.
+func (m *Machine) Now() uint64 { return m.eng.Now() }
+
+// EnqueueRoot inserts a parentless task during Setup (zero cost).
+func (m *Machine) EnqueueRoot(fn int, ts uint64, args ...uint64) {
+	d := guest.TaskDesc{Fn: fn, TS: ts}
+	if len(args) > 3 {
+		panic("core: root tasks take at most 3 argument words")
+	}
+	copy(d.Args[:], args)
+	m.EnqueueRootDesc(d)
+}
+
+// EnqueueRootDesc inserts a parentless task descriptor during Setup.
+func (m *Machine) EnqueueRootDesc(d guest.TaskDesc) {
+	target := m.rng.Intn(m.cfg.Tiles)
+	tt := m.tiles[target]
+	if m.hasSpace(tt) {
+		m.insertIdle(tt, m.newTask(d, target, nil))
+	} else {
+		heap.Push(&tt.overflow, d)
+	}
+}
+
+// Run executes the program to completion and returns statistics.
+func (m *Machine) Run() (Stats, error) {
+	if m.started {
+		return Stats{}, errors.New("core: machine already ran")
+	}
+	m.started = true
+	m.prog.Setup(m)
+	for _, c := range m.cores {
+		m.scheduleDispatch(c, 0)
+	}
+	m.eng.After(m.cfg.GVTPeriod, m.gvtRound)
+	if m.tracer != nil {
+		m.eng.After(m.cfg.TraceInterval, m.tracer.sample)
+	}
+	if err := m.eng.Run(m.cfg.MaxCycles); err != nil {
+		return Stats{}, fmt.Errorf("core: %w (likely livelock: %s)", err, m.describeState())
+	}
+	if !m.done {
+		return Stats{}, fmt.Errorf("core: simulation stalled at cycle %d: %s", m.eng.Now(), m.describeState())
+	}
+	return m.collectStats(), nil
+}
+
+func (m *Machine) describeState() string {
+	tq, cq, fw, idle, ovf := 0, 0, 0, 0, 0
+	coal := 0
+	for _, t := range m.tiles {
+		tq += t.nTasks
+		cq += len(t.commitQ)
+		fw += len(t.finishWait)
+		idle += t.idleQ.Len()
+		ovf += len(t.overflow)
+		if t.coalescing {
+			coal++
+		}
+	}
+	cores := ""
+	for _, c := range m.cores {
+		switch {
+		case c.task == nil:
+			cores += "-"
+		default:
+			ev := "noev"
+			if c.task.pendingEv != nil && !c.task.pendingEv.Cancelled() {
+				ev = fmt.Sprintf("ev@%d", c.task.pendingEv.Cycle())
+			}
+			cores += fmt.Sprintf("[%s k=%d vt=%v %s]", c.task.state, c.task.kind, c.task.vt, ev)
+		}
+	}
+	return fmt.Sprintf("%d queued (%d idle, %d finishWait), %d in commit queues, %d overflowed, %d coalescing, %d spill batches, cores=%s, gvt=%v, commits=%d aborts=%d dequeues=%d nacks=%d spilled=%d",
+		tq, idle, fw, cq, ovf, coal, len(m.spillStore), cores, m.gvt,
+		m.st.commits, m.st.aborts, m.st.dequeues, m.st.nacks, m.st.spilledTasks)
+}
+
+// ---------------------------------------------------------------- tasks --
+
+func (m *Machine) newTask(d guest.TaskDesc, tileID int, parent *task) *task {
+	t := &task{
+		desc:     d,
+		tile:     tileID,
+		seq:      m.nextSeq(),
+		core:     -1,
+		lastCore: -1,
+		heapIdx:  -1,
+	}
+	t.allocToken = m.nextToken()
+	if parent != nil {
+		t.parent = parent
+		if len(parent.children) >= m.cfg.MaxChildren {
+			panic(fmt.Sprintf("core: task exceeded the %d-child hardware limit; enqueue a spawner task instead (§4.1)", m.cfg.MaxChildren))
+		}
+		parent.children = append(parent.children, t)
+	}
+	t.rs = m.getFilter()
+	t.ws = m.getFilter()
+	return t
+}
+
+func (m *Machine) nextSeq() uint64   { m.seqCtr++; return m.seqCtr }
+func (m *Machine) nextToken() uint64 { m.tokCtr++; return m.tokCtr }
+
+func (m *Machine) getFilter() *bloom.Filter {
+	if n := len(m.filterPool); n > 0 {
+		f := m.filterPool[n-1]
+		m.filterPool = m.filterPool[:n-1]
+		return f
+	}
+	return bloom.NewFilter(m.cfg.Bloom)
+}
+
+func (m *Machine) putFilter(f *bloom.Filter) {
+	if f == nil {
+		return
+	}
+	f.Clear()
+	m.filterPool = append(m.filterPool, f)
+}
+
+func (m *Machine) hasSpace(tt *tile) bool {
+	return m.cfg.UnboundedQueues || tt.nTasks < m.cfg.TaskQPerTile()
+}
+
+// insertIdle places a task in a tile's task queue and order queue, waking a
+// stalled core and applying the §4.7 full-queue policies.
+func (m *Machine) insertIdle(tt *tile, t *task) {
+	tt.nTasks++
+	t.state = taskIdle
+	t.tile = tt.id
+	tt.idleQ.Push(t)
+	m.wakeOneStalled(tt)
+	m.checkSpillTrigger(tt)
+	m.coresPolicy(tt, t)
+}
+
+// coresPolicy implements §4.7 "Cores": if a task arrives, the commit queue
+// is full, and the task precedes every task running on this tile's cores,
+// abort the highest-virtual-time running task so the earlier task can make
+// progress.
+func (m *Machine) coresPolicy(tt *tile, arrived *task) {
+	if m.cfg.UnboundedQueues || len(tt.commitQ) < m.cfg.CommitQPerTile() {
+		return
+	}
+	bound := arrived.boundVT(m.eng.Now())
+	var maxRun *task
+	base := tt.id * m.cfg.CoresPerTile
+	for i := 0; i < m.cfg.CoresPerTile; i++ {
+		c := m.cores[base+i]
+		if c.task == nil || c.task.state != taskRunning || !c.task.spec() {
+			return // a core is free or non-abortable: no need / no ability
+		}
+		if c.task.vt.Less(bound) {
+			return // arrived does not precede every running task
+		}
+		if maxRun == nil || maxRun.vt.Less(c.task.vt) {
+			maxRun = c.task
+		}
+	}
+	if maxRun != nil {
+		m.st.policyAborts++
+		m.abortTask(maxRun, false)
+	}
+}
+
+func (m *Machine) wakeOneStalled(tt *tile) {
+	for len(tt.stalledCores) > 0 {
+		id := tt.stalledCores[0]
+		tt.stalledCores = tt.stalledCores[1:]
+		c := m.cores[id]
+		c.inStallList = false
+		if c.task == nil {
+			m.scheduleDispatch(c, 1)
+			return
+		}
+	}
+}
+
+func (m *Machine) freeSlot(t *task) {
+	tt := m.tiles[t.tile]
+	tt.nTasks--
+	if tt.nTasks < 0 {
+		panic("core: task queue underflow")
+	}
+	m.putFilter(t.rs)
+	m.putFilter(t.ws)
+	t.rs, t.ws = nil, nil
+	m.drainOverflow(tt)
+}
+
+// drainOverflow re-materializes software-overflowed descriptors, smallest
+// timestamp first. Refills stop at the spill threshold — draining into a
+// nearly-full queue would just re-trigger the coalescer (and can starve
+// splitters of the room they need) — except that the overflow head is
+// always rescued when it precedes every idle task, so the globally
+// earliest work stays reachable.
+func (m *Machine) drainOverflow(tt *tile) {
+	spillLimit := m.cfg.TaskQPerTile() * m.cfg.SpillThresholdPct / 100
+	for len(tt.overflow) > 0 && m.hasSpace(tt) {
+		belowLimit := m.cfg.UnboundedQueues || tt.nTasks < spillLimit
+		if !belowLimit {
+			minIdle := tt.idleQ.Min()
+			if minIdle != nil && minIdle.desc.TS <= tt.overflow[0].TS {
+				return // head is already in hardware; wait for room
+			}
+		}
+		d := heap.Pop(&tt.overflow).(guest.TaskDesc)
+		m.insertIdle(tt, m.newTask(d, tt.id, nil))
+	}
+}
+
+// ------------------------------------------------------------- dispatch --
+
+func (m *Machine) scheduleDispatch(c *cpu, delay uint64) {
+	if c.dispatchPending || m.done {
+		return
+	}
+	c.dispatchPending = true
+	m.eng.After(delay, func() {
+		c.dispatchPending = false
+		m.dispatch(c)
+	})
+}
+
+// dispatch implements dequeue_task on a free core: run a coalescer if the
+// task queue needs spilling, else dispatch the smallest-timestamp idle
+// task, else stall until work arrives (§4.1: dequeue_task stalls the core,
+// avoiding busy-waiting).
+func (m *Machine) dispatch(c *cpu) {
+	if m.done || c.task != nil {
+		return
+	}
+	tt := m.tiles[c.tile]
+	if tt.spillWanted && !tt.coalescing {
+		if m.runCoalescer(c) {
+			return
+		}
+	}
+	t := tt.idleQ.Min()
+	if t == nil {
+		if !c.inStallList {
+			c.inStallList = true
+			tt.stalledCores = append(tt.stalledCores, c.id)
+		}
+		return
+	}
+	now := m.eng.Now()
+	if tt.everDequeued && tt.lastDequeue == now {
+		// At most one dequeue per tile per cycle keeps virtual times
+		// unique (§4.4).
+		m.scheduleDispatch(c, 1)
+		return
+	}
+	tt.lastDequeue = now
+	tt.everDequeued = true
+	tt.idleQ.Remove(t)
+
+	t.state = taskRunning
+	t.core = c.id
+	t.lastCore = c.id
+	c.task = t
+	t.vt = vt.Time{TS: t.desc.TS, Cycle: now, Tile: uint32(tt.id)}
+	m.st.dequeues++
+
+	// L1 conflict-filter invariant: flash-clear when running backwards.
+	if c.everRan && t.vt.Less(c.lastVT) {
+		m.hier.FlashClearL1(c.id)
+	}
+	c.lastVT = t.vt
+	c.everRan = true
+
+	m.busy(c, t, m.cfg.DequeueCost)
+	t.pendingEv = m.eng.After(m.cfg.DequeueCost, func() {
+		t.pendingEv = nil
+		m.startBody(c, t)
+	})
+}
+
+func (m *Machine) startBody(c *cpu, t *task) {
+	if t.kind == kindSplitter {
+		m.runSplitter(c, t)
+		return
+	}
+	if t.desc.Fn < 0 || t.desc.Fn >= len(m.prog.Fns) {
+		panic(fmt.Sprintf("core: task function %d out of range", t.desc.Fn))
+	}
+	t.co = guest.StartTask(m.prog.Fns[t.desc.Fn], t.desc)
+	m.resumeTask(c, t, guest.Result{})
+}
+
+// busy charges cycles to a task and its core's wall-clock busy bucket.
+func (m *Machine) busy(c *cpu, t *task, cycles uint64) {
+	t.cyc += cycles
+	if t.spec() {
+		c.wallWorker += cycles
+	} else {
+		c.wallSpill += cycles
+	}
+}
+
+func (m *Machine) resumeTask(c *cpu, t *task, r guest.Result) {
+	op := t.co.Resume(r)
+	m.handleOp(c, t, op)
+}
+
+func (m *Machine) handleOp(c *cpu, t *task, op guest.Op) {
+	switch op.Kind {
+	case guest.OpWork:
+		m.busy(c, t, op.N)
+		t.pendingEv = m.eng.After(op.N, func() {
+			t.pendingEv = nil
+			m.resumeTask(c, t, guest.Result{})
+		})
+
+	case guest.OpLoad, guest.OpStore:
+		lat, val := m.access(c, t, op)
+		m.busy(c, t, lat)
+		t.pendingEv = m.eng.After(lat, func() {
+			t.pendingEv = nil
+			m.resumeTask(c, t, guest.Result{Val: val})
+		})
+
+	case guest.OpEnqueue:
+		m.enqueueOp(c, t, op.Task, 0)
+
+	case guest.OpAlloc:
+		addr := m.heap.Alloc(op.N)
+		m.busy(c, t, mem.AllocCycles)
+		t.pendingEv = m.eng.After(mem.AllocCycles, func() {
+			t.pendingEv = nil
+			m.resumeTask(c, t, guest.Result{Val: addr})
+		})
+
+	case guest.OpFree:
+		m.heap.Free(t.allocToken, op.Addr, op.N)
+		m.busy(c, t, mem.AllocCycles)
+		t.pendingEv = m.eng.After(mem.AllocCycles, func() {
+			t.pendingEv = nil
+			m.resumeTask(c, t, guest.Result{})
+		})
+
+	case guest.OpDone:
+		t.co = nil
+		m.busy(c, t, m.cfg.FinishCost)
+		t.pendingEv = m.eng.After(m.cfg.FinishCost, func() {
+			t.pendingEv = nil
+			m.tryFinish(c, t)
+		})
+
+	default:
+		panic(fmt.Sprintf("core: unsupported op %v on a Swarm machine", op.Kind))
+	}
+}
+
+// enqueueOp implements enqueue_task (Fig 5): send the descriptor to a
+// random tile; on NACK (queue full of speculative tasks) retry with linear
+// backoff; the GVT task's children overflow to memory instead (§4.7).
+func (m *Machine) enqueueOp(c *cpu, t *task, d guest.TaskDesc, attempt int) {
+	t.inBackoff = false
+	m.busy(c, t, m.cfg.EnqueueCost)
+	target := m.rng.Intn(m.cfg.Tiles)
+	if m.cfg.LocalEnqueue {
+		target = t.tile
+	}
+	tt := m.tiles[target]
+	m.st.enqueues++
+	m.mesh.Send(t.tile, target, noc.ClassEnqueue, noc.TaskDescBytes)
+
+	switch {
+	case m.hasSpace(tt):
+		var parent *task
+		if t.spec() {
+			parent = t
+		}
+		child := m.newTask(d, target, parent)
+		m.insertIdle(tt, child)
+		m.mesh.Send(target, t.tile, noc.ClassEnqueue, noc.AckBytes)
+
+	case !m.gvt.Less(t.vt):
+		// t is the GVT task: its children may overflow to memory so it
+		// always makes progress (no parent tracking needed).
+		heap.Push(&tt.overflow, d)
+		m.mesh.Send(target, t.tile, noc.ClassEnqueue, noc.AckBytes)
+		m.st.overflowed++
+
+	default:
+		// NACK; retry with linear backoff, capped so a task that becomes
+		// the GVT task discovers its overflow privilege promptly. The
+		// wait is not attributed to the task (it surfaces as stall time).
+		m.mesh.Send(target, t.tile, noc.ClassEnqueue, noc.AckBytes)
+		m.st.nacks++
+		backoff := m.cfg.EnqueueCost + uint64(attempt+1)*10
+		if backoff > m.cfg.GVTPeriod/2 {
+			backoff = m.cfg.GVTPeriod / 2
+		}
+		if t.state == taskRunning { // insertIdle policies may have squashed t
+			t.inBackoff = true
+			t.pendingEv = m.eng.After(backoff, func() {
+				t.pendingEv = nil
+				if t.state == taskRunning {
+					m.enqueueOp(c, t, d, attempt+1)
+				}
+			})
+		}
+		return
+	}
+
+	if t.state == taskRunning { // a full-queue policy may have aborted t
+		t.pendingEv = m.eng.After(m.cfg.EnqueueCost, func() {
+			t.pendingEv = nil
+			m.resumeTask(c, t, guest.Result{OK: true})
+		})
+	}
+}
+
+// tryFinish moves a finished worker into the commit queue, applying the
+// §4.7 commit-queue policy when it is full.
+func (m *Machine) tryFinish(c *cpu, t *task) {
+	tt := m.tiles[t.tile]
+	if !m.cfg.UnboundedQueues && len(tt.commitQ) >= m.cfg.CommitQPerTile() {
+		// If t precedes the highest-VT finished task, abort that task
+		// and take its entry; otherwise stall the core until one frees.
+		var maxF *task
+		for _, f := range tt.commitQ {
+			if maxF == nil || maxF.vt.Less(f.vt) {
+				maxF = f
+			}
+		}
+		if maxF != nil && t.vt.Less(maxF.vt) {
+			m.st.policyAborts++
+			m.abortTask(maxF, false)
+		} else {
+			t.state = taskFinishing
+			tt.finishWait = append(tt.finishWait, t)
+			return // core stays held; commit/abort will free it
+		}
+	}
+	t.state = taskFinished
+	tt.commitQ = append(tt.commitQ, t)
+	m.releaseCore(c, t)
+}
+
+func (m *Machine) releaseCore(c *cpu, t *task) {
+	c.task = nil
+	t.core = -1
+	m.scheduleDispatch(c, 1)
+}
+
+// promoteFinishWaiters grants freed commit queue entries to stalled
+// finished tasks in virtual-time order.
+func (m *Machine) promoteFinishWaiters(tt *tile) {
+	for len(tt.finishWait) > 0 &&
+		(m.cfg.UnboundedQueues || len(tt.commitQ) < m.cfg.CommitQPerTile()) {
+		minI := 0
+		for i, w := range tt.finishWait {
+			if w.vt.Less(tt.finishWait[minI].vt) {
+				minI = i
+			}
+		}
+		w := tt.finishWait[minI]
+		tt.finishWait = append(tt.finishWait[:minI], tt.finishWait[minI+1:]...)
+		w.state = taskFinished
+		tt.commitQ = append(tt.commitQ, w)
+		m.releaseCore(m.cores[w.core], w)
+	}
+}
+
+func removeTask(s []*task, t *task) []*task {
+	for i, x := range s {
+		if x == t {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/swarm-sim/swarm/internal/guest"
+)
+
+// BenchmarkTaskThroughput measures end-to-end simulator throughput:
+// independent 20-instruction tasks on a 64-core machine (simulated tasks
+// per wall-clock second is the simulator's key performance metric).
+func BenchmarkTaskThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		var base uint64
+		const n = 20000
+		prog := &Program{
+			Fns: []guest.TaskFn{
+				func(e guest.TaskEnv) {
+					a := e.Arg(0)
+					e.Work(12)
+					e.Store(base+a*8, a)
+				},
+			},
+			Setup: func(m *Machine) {
+				base = m.SetupAlloc(8 * n)
+				for j := uint64(0); j < n; j++ {
+					m.EnqueueRoot(0, j, j)
+				}
+			},
+		}
+		m, err := NewMachine(DefaultConfig(64), prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		st, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(st.Commits), "tasks")
+		b.ReportMetric(float64(st.Cycles), "sim-cycles")
+	}
+}
+
+// BenchmarkConflictHeavy measures throughput under constant conflicts and
+// aborts (every task touches the same line).
+func BenchmarkConflictHeavy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		var counter uint64
+		const n = 2000
+		prog := &Program{
+			Fns: []guest.TaskFn{
+				func(e guest.TaskEnv) {
+					e.Store(counter, e.Load(counter)+1)
+				},
+			},
+			Setup: func(m *Machine) {
+				counter = m.SetupAlloc(8)
+				for j := uint64(0); j < n; j++ {
+					m.EnqueueRoot(0, j)
+				}
+			},
+		}
+		m, err := NewMachine(DefaultConfig(16), prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		st, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Mem().Load(counter) != n {
+			b.Fatal("lost updates")
+		}
+		b.ReportMetric(float64(st.Aborts), "aborts")
+	}
+}
+
+// BenchmarkSpillHeavy measures the queue-virtualization machinery: a task
+// flood through tiny queues.
+func BenchmarkSpillHeavy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		var out uint64
+		const n = 4000
+		prog := &Program{
+			Fns: []guest.TaskFn{
+				func(e guest.TaskEnv) {
+					lo, hi := e.Arg(0), e.Arg(1)
+					if hi-lo <= 7 {
+						for j := lo; j < hi; j++ {
+							e.Enqueue(1, 1+j, j)
+						}
+						return
+					}
+					chunk := (hi - lo + 7) / 8
+					for s := lo; s < hi; s += chunk {
+						end := min(s+chunk, hi)
+						e.Enqueue(0, e.Timestamp(), s, end)
+					}
+				},
+				func(e guest.TaskEnv) { e.Store(out+e.Arg(0)*8, 1) },
+			},
+			Setup: func(m *Machine) {
+				out = m.SetupAlloc(8 * n)
+				m.EnqueueRoot(0, 0, 0, n)
+			},
+		}
+		cfg := DefaultConfig(4) // 256 task queue entries for 4000 tasks
+		m, err := NewMachine(cfg, prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		st, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(st.SpilledTasks), "spilled")
+	}
+}
+
+func min(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

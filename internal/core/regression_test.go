@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/swarm-sim/swarm/internal/bloom"
+	"github.com/swarm-sim/swarm/internal/guest"
+)
+
+// TestLostUpdateDebug shrinks TestConflictingIncrements and logs every
+// execution attempt so we can see which increment is lost and why.
+func TestStickyBitRegression(t *testing.T) {
+	var counter uint64
+	const n = 60
+	type attempt struct {
+		ts   uint64
+		read uint64
+	}
+	var log []attempt
+	cfg := DefaultConfig(16)
+	cfg.Bloom = bloom.Config{Precise: true}
+	cfg.DebugChecks = true
+	prog := &Program{
+		Fns: []guest.TaskFn{
+			func(e guest.TaskEnv) {
+				v := e.Load(counter)
+				log = append(log, attempt{e.Timestamp(), v})
+				e.Store(counter, v+1)
+			},
+		},
+		Setup: func(m *Machine) {
+			counter = m.SetupAlloc(8)
+			for i := 0; i < n; i++ {
+				m.EnqueueRoot(0, uint64(i))
+			}
+		},
+	}
+	st, m := runProgram(t, cfg, prog)
+	got := m.Mem().Load(counter)
+	if got != n {
+		// Reconstruct: last attempt per ts in commit order should read
+		// exactly its rank.
+		last := map[uint64]uint64{}
+		for _, a := range log {
+			last[a.ts] = a.read
+		}
+		for ts := uint64(0); ts < n; ts++ {
+			if last[ts] != ts {
+				t.Logf("ts=%d final read=%d (want %d)", ts, last[ts], ts)
+			}
+		}
+		t.Fatalf("counter=%d want %d commits=%d aborts=%d attempts=%d", got, n, st.Commits, st.Aborts, len(log))
+	}
+}
+
+var _ = fmt.Sprintf

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"container/heap"
+	"sort"
+
+	"github.com/swarm-sim/swarm/internal/guest"
+	"github.com/swarm-sim/swarm/internal/noc"
+)
+
+// Task queue virtualization (§4.7): when a tile's task queue is nearly
+// full, a non-speculative coalescer task removes several idle,
+// non-speculative descriptors with the highest programmer timestamps,
+// stores them in memory, and enqueues a splitter task (timestamped with the
+// batch minimum) that re-enqueues them later. This gives programs the
+// illusion of unbounded hardware task queues.
+
+// checkSpillTrigger arms the coalescer when occupancy crosses the
+// threshold (Table 3: 75%).
+func (m *Machine) checkSpillTrigger(tt *tile) {
+	if m.cfg.UnboundedQueues {
+		return
+	}
+	tt.spillWanted = tt.nTasks*100 >= m.cfg.TaskQPerTile()*m.cfg.SpillThresholdPct
+}
+
+// spillable reports whether a task can move to software: only idle tasks
+// whose parent has committed (no parent pointer) can leave the hardware
+// queues, since aborts must be able to find speculative children.
+func spillable(t *task) bool {
+	return t.state == taskIdle && t.parent == nil && t.kind == kindWorker
+}
+
+// runCoalescer runs a coalescer pseudo-task on the core. Returns false if
+// nothing was spillable (the caller then dispatches normally).
+func (m *Machine) runCoalescer(c *cpu) bool {
+	tt := m.tiles[c.tile]
+	// Only tasks strictly later than the tile's earliest timestamp may
+	// leave the hardware queues: spilling the head would immediately
+	// force a splitter to bring it back (and can livelock the tile in
+	// coalesce/split ping-pong while real work starves).
+	minTS := uint64(0)
+	if minT := tt.idleQ.Min(); minT != nil {
+		minTS = minT.desc.TS
+	}
+	var batch []*task
+	for _, t := range tt.idleQ.h {
+		if spillable(t) && t.desc.TS > minTS {
+			batch = append(batch, t)
+		}
+	}
+	if len(batch) == 0 {
+		tt.spillWanted = false
+		return false
+	}
+	// Spill the highest-timestamp tasks first: they are the farthest from
+	// the GVT and the least likely to be needed soon.
+	sort.Slice(batch, func(i, j int) bool {
+		if batch[i].desc.TS != batch[j].desc.TS {
+			return batch[i].desc.TS > batch[j].desc.TS
+		}
+		return batch[i].seq > batch[j].seq
+	})
+	if len(batch) > m.cfg.SpillBatch {
+		batch = batch[:m.cfg.SpillBatch]
+	}
+
+	tt.coalescing = true
+	tt.spillWanted = false
+
+	descs := make([]guest.TaskDesc, len(batch))
+	batchMinTS := batch[0].desc.TS
+	for i, t := range batch {
+		descs[i] = t.desc
+		if t.desc.TS < batchMinTS {
+			batchMinTS = t.desc.TS
+		}
+		tt.idleQ.Remove(t)
+		t.state = taskKilled
+		m.freeSlotNoDrain(t)
+	}
+	m.st.spilledTasks += uint64(len(descs))
+
+	// Install the splitter task immediately (space is guaranteed: the
+	// batch slots were just freed and nothing can run in between). The
+	// batch stays reachable through the splitter's task queue entry, so
+	// the GVT never passes the spilled work.
+	m.batchCtr++
+	id := m.batchCtr
+	m.spillStore[id] = descs
+	sp := m.newTask(guest.TaskDesc{Fn: 0, TS: batchMinTS}, tt.id, nil)
+	sp.kind = kindSplitter
+	sp.batch = id
+	m.insertIdle(tt, sp)
+
+	// The core is busy writing descriptors to memory for a while.
+	cycles := m.cfg.SpillCyclesPerTask * uint64(len(descs)+1)
+	c.wallSpill += cycles
+	m.mesh.Account(tt.id, noc.ClassMem, len(descs)*noc.TaskDescBytes)
+	m.eng.After(cycles, func() {
+		tt.coalescing = false
+		m.scheduleDispatch(c, 0)
+	})
+	return true
+}
+
+// freeSlotNoDrain releases a task queue slot without re-materializing
+// overflow descriptors (the coalescer is making room on purpose).
+func (m *Machine) freeSlotNoDrain(t *task) {
+	tt := m.tiles[t.tile]
+	tt.nTasks--
+	m.putFilter(t.rs)
+	m.putFilter(t.ws)
+	t.rs, t.ws = nil, nil
+}
+
+// runSplitter re-enqueues a spilled batch into the local task queue. Any
+// part of the batch that does not fit goes to the tile's memory-backed
+// overflow heap (drained as room appears) — never to a fresh splitter:
+// re-splitting lets splitters reproduce until they fill the task queue and
+// starve real work.
+func (m *Machine) runSplitter(c *cpu, t *task) {
+	tt := m.tiles[t.tile]
+	batch := m.spillStore[t.batch]
+	delete(m.spillStore, t.batch)
+
+	cycles := m.cfg.SpillCyclesPerTask * uint64(len(batch)+1)
+	c.wallSpill += cycles
+	m.mesh.Account(tt.id, noc.ClassMem, len(batch)*noc.TaskDescBytes)
+
+	m.eng.After(cycles, func() {
+		// Free the splitter's own slot first, then refill.
+		t.state = taskCommitted
+		m.freeSlotNoDrain(t)
+		c.task = nil
+		t.core = -1
+
+		// Insert lowest timestamps first.
+		sort.Slice(batch, func(i, j int) bool { return batch[i].TS < batch[j].TS })
+		free := m.cfg.TaskQPerTile() - tt.nTasks
+		n := len(batch)
+		if !m.cfg.UnboundedQueues && n > free {
+			n = free
+		}
+		for _, d := range batch[:n] {
+			m.insertIdle(tt, m.newTask(d, tt.id, nil))
+		}
+		for _, d := range batch[n:] {
+			heap.Push(&tt.overflow, d)
+		}
+		m.drainOverflow(tt)
+		m.checkSpillTrigger(tt)
+		m.scheduleDispatch(c, 1)
+	})
+}

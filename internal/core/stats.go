@@ -1,0 +1,188 @@
+package core
+
+import (
+	"github.com/swarm-sim/swarm/internal/cache"
+	"github.com/swarm-sim/swarm/internal/noc"
+)
+
+type internalStats struct {
+	commits, aborts    uint64
+	dequeues           uint64
+	enqueues, nacks    uint64
+	overflowed         uint64
+	policyAborts       uint64
+	spilledTasks       uint64
+	bloomChecks        uint64
+	vtCompares         uint64
+	gvtUpdates         uint64
+	tqOccSum, cqOccSum uint64
+	occSamples         uint64
+}
+
+// Stats is the result of one Swarm run.
+type Stats struct {
+	// Cycles is the end-to-end run time in cycles.
+	Cycles uint64
+	Cores  int
+	Tiles  int
+
+	// Task events.
+	Commits      uint64
+	Aborts       uint64
+	Enqueues     uint64
+	Dequeues     uint64
+	NACKs        uint64 // enqueue rejections (full speculative queues)
+	PolicyAborts uint64 // aborts from the §4.7 full-queue policies
+	SpilledTasks uint64 // descriptors moved to memory by coalescers
+
+	// Aggregate core-cycle breakdown (Fig 14).
+	CommittedCycles uint64 // executing tasks that ultimately commit
+	AbortedCycles   uint64 // executing tasks that later abort
+	SpillCycles     uint64 // coalescer + splitter work
+	StallCycles     uint64 // cores idle or blocked
+
+	// Conflict-detection activity (§6.3).
+	BloomChecks uint64
+	VTCompares  uint64
+
+	GVTUpdates uint64
+
+	// Average queue occupancies, whole machine (Fig 15).
+	AvgTaskQueueOcc   float64
+	AvgCommitQueueOcc float64
+
+	// NoC injected bytes by class (Fig 16).
+	TrafficBytes [noc.NumClasses]uint64
+
+	Cache cache.Stats
+
+	// Trace holds Fig 18-style samples when TraceInterval was set.
+	Trace []TraceSample
+}
+
+// TotalCoreCycles returns Cycles x Cores: the denominator of Fig 14.
+func (s Stats) TotalCoreCycles() uint64 { return s.Cycles * uint64(s.Cores) }
+
+// TrafficGBps returns per-tile average injection in GB/s assuming the 2GHz
+// clock of Table 3 (Fig 16's y-axis).
+func (s Stats) TrafficGBps(class noc.Class) float64 {
+	if s.Cycles == 0 || s.Tiles == 0 {
+		return 0
+	}
+	bytesPerCycle := float64(s.TrafficBytes[class]) / float64(s.Cycles) / float64(s.Tiles)
+	return bytesPerCycle * 2 // 2 GHz: cycles/s * 1e9 -> bytes/ns = GB/s
+}
+
+func (m *Machine) collectStats() Stats {
+	s := Stats{
+		Cycles:       m.eng.Now(),
+		Cores:        m.cfg.Cores(),
+		Tiles:        m.cfg.Tiles,
+		Commits:      m.st.commits,
+		Aborts:       m.st.aborts,
+		Enqueues:     m.st.enqueues,
+		Dequeues:     m.st.dequeues,
+		NACKs:        m.st.nacks,
+		PolicyAborts: m.st.policyAborts,
+		SpilledTasks: m.st.spilledTasks,
+		BloomChecks:  m.st.bloomChecks,
+		VTCompares:   m.st.vtCompares,
+		GVTUpdates:   m.st.gvtUpdates,
+		Cache:        m.hier.Stats(),
+		TrafficBytes: m.mesh.TotalBytes(),
+	}
+	for _, c := range m.cores {
+		s.CommittedCycles += c.committedCyc
+		s.AbortedCycles += c.abortedCyc
+		s.SpillCycles += c.wallSpill
+	}
+	busy := s.CommittedCycles + s.AbortedCycles + s.SpillCycles
+	if tot := s.TotalCoreCycles(); tot > busy {
+		s.StallCycles = tot - busy
+	}
+	if m.st.occSamples > 0 {
+		s.AvgTaskQueueOcc = float64(m.st.tqOccSum) / float64(m.st.occSamples)
+		s.AvgCommitQueueOcc = float64(m.st.cqOccSum) / float64(m.st.occSamples)
+	}
+	if m.tracer != nil {
+		s.Trace = m.tracer.samples
+	}
+	return s
+}
+
+// TraceSample is one Fig 18 sampling interval.
+type TraceSample struct {
+	Cycle uint64
+	Tiles []TileSample
+}
+
+// TileSample is the per-tile state over one sampling interval.
+type TileSample struct {
+	Worker  uint64 // core cycles spent on worker tasks
+	Spill   uint64 // core cycles spent on coalescers/splitters
+	Stall   uint64 // core cycles idle
+	TaskQ   int    // task queue length at sample time
+	CommitQ int    // commit queue length at sample time
+	Commits uint64
+	Aborts  uint64
+}
+
+type tracer struct {
+	m           *Machine
+	samples     []TraceSample
+	prevWorker  []uint64
+	prevSpill   []uint64
+	prevCommits []uint64
+	prevAborts  []uint64
+	prevCycle   uint64
+}
+
+func newTracer(m *Machine) *tracer {
+	n := m.cfg.Tiles
+	return &tracer{
+		m:           m,
+		prevWorker:  make([]uint64, n),
+		prevSpill:   make([]uint64, n),
+		prevCommits: make([]uint64, n),
+		prevAborts:  make([]uint64, n),
+	}
+}
+
+func (tr *tracer) sample() {
+	m := tr.m
+	now := m.eng.Now()
+	interval := now - tr.prevCycle
+	ts := TraceSample{Cycle: now, Tiles: make([]TileSample, m.cfg.Tiles)}
+	for i, tt := range m.tiles {
+		var worker, spill uint64
+		base := i * m.cfg.CoresPerTile
+		for j := 0; j < m.cfg.CoresPerTile; j++ {
+			worker += m.cores[base+j].wallWorker
+			spill += m.cores[base+j].wallSpill
+		}
+		dw := worker - tr.prevWorker[i]
+		dsp := spill - tr.prevSpill[i]
+		tr.prevWorker[i], tr.prevSpill[i] = worker, spill
+		wall := interval * uint64(m.cfg.CoresPerTile)
+		var stall uint64
+		if wall > dw+dsp {
+			stall = wall - dw - dsp
+		}
+		ts.Tiles[i] = TileSample{
+			Worker:  dw,
+			Spill:   dsp,
+			Stall:   stall,
+			TaskQ:   tt.nTasks,
+			CommitQ: len(tt.commitQ),
+			Commits: tt.commitsCount - tr.prevCommits[i],
+			Aborts:  tt.abortsCount - tr.prevAborts[i],
+		}
+		tr.prevCommits[i] = tt.commitsCount
+		tr.prevAborts[i] = tt.abortsCount
+	}
+	tr.prevCycle = now
+	tr.samples = append(tr.samples, ts)
+	if !m.done {
+		m.eng.After(m.cfg.TraceInterval, tr.sample)
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"container/heap"
+
+	"github.com/swarm-sim/swarm/internal/bloom"
+	"github.com/swarm-sim/swarm/internal/guest"
+	"github.com/swarm-sim/swarm/internal/sim"
+	"github.com/swarm-sim/swarm/internal/vt"
+)
+
+// taskState tracks a task through its lifetime (Fig 4 plus two transients:
+// FINISHING covers a finished task stalled waiting for a commit queue entry,
+// KILLED marks a discarded child of an aborted parent).
+type taskState uint8
+
+const (
+	taskIdle taskState = iota
+	taskRunning
+	taskFinishing // finished execution, waiting for a commit queue entry
+	taskFinished  // holds a commit queue entry
+	taskCommitted
+	taskKilled
+)
+
+func (s taskState) String() string {
+	return [...]string{"idle", "running", "finishing", "finished", "committed", "killed"}[s]
+}
+
+// kinds of pseudo-tasks used by the queue-virtualization mechanism (§4.7).
+type taskKind uint8
+
+const (
+	kindWorker   taskKind = iota
+	kindSplitter          // re-enqueues a batch of spilled task descriptors
+)
+
+type undoRec struct {
+	addr uint64
+	old  uint64
+}
+
+// vt0 is the zero virtual time (undispatched).
+var vt0 vt.Time
+
+// task is one task-queue entry plus all speculative state Swarm associates
+// with the task (Fig 6): read/write signatures, undo log and children
+// pointers. The entry keeps its identity from creation to commit.
+type task struct {
+	desc  guest.TaskDesc
+	kind  taskKind
+	state taskState
+	tile  int // owning tile (task queue position)
+	seq   uint64
+
+	vt vt.Time // unique virtual time, assigned at dispatch
+
+	parent   *task
+	children []*task
+
+	rs, ws *bloom.Filter
+	undo   []undoRec
+
+	co        *guest.Coroutine
+	core      int // core running/holding the task, -1 otherwise
+	lastCore  int // last core that executed the task (cycle attribution)
+	cyc       uint64
+	pendingEv *sim.Event
+	inBackoff bool // parked in an enqueue-NACK retry loop
+
+	// splitter payload: id of the spilled batch in Machine.spillStore.
+	batch uint64
+
+	allocToken uint64
+
+	heapIdx int // position in the tile's order queue, -1 when not idle
+}
+
+// spec reports whether the task runs speculatively. Splitters (and the
+// coalescer pseudo-task) are non-speculative: they touch only runtime
+// metadata, perform no conflict-checked accesses, and cannot abort.
+func (t *task) spec() bool { return t.kind == kindWorker }
+
+// boundVT returns the virtual time used for GVT purposes: dispatched tasks
+// use their unique virtual time; idle tasks use (timestamp, now, tile)
+// (§4.6).
+func (t *task) boundVT(now uint64) vt.Time {
+	if t.state != taskIdle {
+		return t.vt
+	}
+	return vt.Time{TS: t.desc.TS, Cycle: now, Tile: uint32(t.tile)}
+}
+
+// orderQueue is the tile's order queue (§4.2): it finds the highest-priority
+// (smallest-timestamp) idle task. The hardware uses two small TCAMs with
+// single-lookup dispatch; functionally it is a min-heap on (timestamp,
+// arrival order) supporting removal (task dispatch, spill, or squash).
+type orderQueue struct{ h taskHeap }
+
+func (q *orderQueue) Len() int { return len(q.h) }
+
+func (q *orderQueue) Push(t *task) { heap.Push(&q.h, t) }
+
+// Min returns the smallest-timestamp idle task without removing it.
+func (q *orderQueue) Min() *task {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+// Remove deletes the task from the queue (dispatch, spill, or discard).
+func (q *orderQueue) Remove(t *task) {
+	if t.heapIdx >= 0 {
+		heap.Remove(&q.h, t.heapIdx)
+		t.heapIdx = -1
+	}
+}
+
+// descHeap is a min-heap of task descriptors ordered by timestamp (the
+// memory-resident overflow buffer).
+type descHeap []guest.TaskDesc
+
+func (h descHeap) Len() int           { return len(h) }
+func (h descHeap) Less(i, j int) bool { return h[i].TS < h[j].TS }
+func (h descHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *descHeap) Push(x any)        { *h = append(*h, x.(guest.TaskDesc)) }
+func (h *descHeap) Pop() any {
+	old := *h
+	n := len(old)
+	d := old[n-1]
+	*h = old[:n-1]
+	return d
+}
+
+type taskHeap []*task
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].desc.TS != h[j].desc.TS {
+		return h[i].desc.TS < h[j].desc.TS
+	}
+	return h[i].seq < h[j].seq
+}
+func (h taskHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *taskHeap) Push(x any) {
+	t := x.(*task)
+	t.heapIdx = len(*h)
+	*h = append(*h, t)
+}
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.heapIdx = -1
+	*h = old[:n-1]
+	return t
+}

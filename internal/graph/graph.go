@@ -1,0 +1,399 @@
+// Package graph provides the graph substrate for the graph-analytics
+// benchmarks: CSR graphs, deterministic generators standing in for the
+// paper's inputs (Table 4), guest-memory packing, and host-side reference
+// algorithms used to verify simulated runs.
+//
+// Input substitutions (documented in DESIGN.md): hugetric-00020 -> a
+// triangulated mesh with thousands of BFS levels; East-USA/Germany roads ->
+// a perturbed grid road network with coordinates; kronecker_logn16 -> an
+// R-MAT/Kronecker generator with the standard (0.57, 0.19, 0.19, 0.05)
+// seed matrix.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Graph is a directed graph in compressed sparse row form. Undirected
+// graphs store both arc directions.
+type Graph struct {
+	N       int
+	Offsets []uint32  // len N+1
+	Dst     []uint32  // len M
+	W       []uint32  // len M, nil for unweighted graphs
+	X, Y    []float64 // optional node coordinates (road networks)
+}
+
+// M returns the number of directed arcs.
+func (g *Graph) M() int { return len(g.Dst) }
+
+// Degree returns the out-degree of u.
+func (g *Graph) Degree(u int) int { return int(g.Offsets[u+1] - g.Offsets[u]) }
+
+// Neighbors returns the arc index range of u.
+func (g *Graph) Neighbors(u int) (lo, hi uint32) { return g.Offsets[u], g.Offsets[u+1] }
+
+// MaxDegree returns the largest out-degree.
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for u := 0; u < g.N; u++ {
+		if x := g.Degree(u); x > d {
+			d = x
+		}
+	}
+	return d
+}
+
+// Validate checks CSR well-formedness.
+func (g *Graph) Validate() error {
+	if len(g.Offsets) != g.N+1 {
+		return fmt.Errorf("graph: offsets length %d, want %d", len(g.Offsets), g.N+1)
+	}
+	if g.Offsets[0] != 0 || int(g.Offsets[g.N]) != len(g.Dst) {
+		return fmt.Errorf("graph: offset bounds wrong")
+	}
+	for u := 0; u < g.N; u++ {
+		if g.Offsets[u] > g.Offsets[u+1] {
+			return fmt.Errorf("graph: offsets not monotone at %d", u)
+		}
+	}
+	for i, v := range g.Dst {
+		if int(v) >= g.N {
+			return fmt.Errorf("graph: arc %d targets %d >= N", i, v)
+		}
+	}
+	if g.W != nil && len(g.W) != len(g.Dst) {
+		return fmt.Errorf("graph: weights length mismatch")
+	}
+	return nil
+}
+
+// Edge is one undirected weighted edge (msf's input form).
+type Edge struct {
+	U, V uint32
+	W    uint32
+}
+
+// FromEdges builds a CSR graph from an edge list; when undirected, both
+// arc directions are stored.
+func FromEdges(n int, edges []Edge, undirected bool) *Graph {
+	deg := make([]uint32, n+1)
+	count := func(u uint32) { deg[u+1]++ }
+	for _, e := range edges {
+		count(e.U)
+		if undirected {
+			count(e.V)
+		}
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	g := &Graph{
+		N:       n,
+		Offsets: deg,
+		Dst:     make([]uint32, int(deg[n])),
+		W:       make([]uint32, int(deg[n])),
+	}
+	fill := make([]uint32, n)
+	put := func(u, v, w uint32) {
+		i := g.Offsets[u] + fill[u]
+		g.Dst[i] = v
+		g.W[i] = w
+		fill[u]++
+	}
+	for _, e := range edges {
+		put(e.U, e.V, e.W)
+		if undirected {
+			put(e.V, e.U, e.W)
+		}
+	}
+	return g
+}
+
+// TriMesh generates a triangulated rows x cols grid: each interior node
+// connects to its right, down and down-right neighbors (degree <= 6,
+// undirected). Like the paper's hugetric input, it is an unstructured-mesh
+// stand-in with a BFS tree thousands of levels deep for large sizes, so
+// level-synchronous BFS cannot scale without speculating across levels.
+func TriMesh(rows, cols int) *Graph {
+	id := func(r, c int) uint32 { return uint32(r*cols + c) }
+	var edges []Edge
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, Edge{id(r, c), id(r, c+1), 1})
+			}
+			if r+1 < rows {
+				edges = append(edges, Edge{id(r, c), id(r+1, c), 1})
+			}
+			if r+1 < rows && c+1 < cols {
+				edges = append(edges, Edge{id(r, c), id(r+1, c+1), 1})
+			}
+		}
+	}
+	return FromEdges(rows*cols, edges, true)
+}
+
+// coordScale converts unit grid distance to integer weight units; weights
+// and A* heuristics share it so the heuristic stays admissible.
+const coordScale = 64
+
+// RoadNet generates a road-network stand-in: a rows x cols grid with
+// coordinates, ~8% of edges deleted (keeping the grid connected via a
+// guaranteed spanning pattern), and travel-time weights of at least the
+// Euclidean distance (x coordScale), perturbed upward by up to 60%. Degree
+// <= 4. Deterministic in seed.
+func RoadNet(rows, cols int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	id := func(r, c int) uint32 { return uint32(r*cols + c) }
+	n := rows * cols
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			// Jitter coordinates slightly (roads are not perfect grids).
+			x[id(r, c)] = float64(c) + 0.3*rng.Float64()
+			y[id(r, c)] = float64(r) + 0.3*rng.Float64()
+		}
+	}
+	weight := func(u, v uint32) uint32 {
+		dx, dy := x[u]-x[v], y[u]-y[v]
+		d := math.Sqrt(dx*dx+dy*dy) * coordScale
+		w := d * (1.0 + 0.6*rng.Float64())
+		if w < 1 {
+			w = 1
+		}
+		return uint32(math.Ceil(w))
+	}
+	var edges []Edge
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			u := id(r, c)
+			if c+1 < cols {
+				// Horizontal edges always exist: each row is a path,
+				// hanging off the column-0 spine — connectivity is
+				// guaranteed by construction.
+				edges = append(edges, Edge{u, id(r, c+1), weight(u, id(r, c+1))})
+			}
+			if r+1 < rows {
+				// Vertical edges thin out away from the spine (~85%
+				// survive), giving road-network-like irregularity.
+				if c == 0 || rng.Float64() >= 0.15 {
+					edges = append(edges, Edge{u, id(r+1, c), weight(u, id(r+1, c))})
+				}
+			}
+		}
+	}
+	g := FromEdges(n, edges, true)
+	g.X, g.Y = x, y
+	return g
+}
+
+// Kronecker generates an R-MAT graph with 2^logN nodes and roughly
+// avgDeg*2^logN undirected edges using the standard Graph500 seed matrix
+// (a=0.57, b=0.19, c=0.19, d=0.05), random weights in [1, 255], self-loops
+// and duplicate edges dropped.
+func Kronecker(logN, avgDeg int, seed int64) (int, []Edge) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 << logN
+	target := n * avgDeg / 2
+	seen := make(map[uint64]bool, target)
+	edges := make([]Edge, 0, target)
+	for len(edges) < target {
+		u, v := 0, 0
+		for i := 0; i < logN; i++ {
+			p := rng.Float64()
+			var bu, bv int
+			switch {
+			case p < 0.57:
+				bu, bv = 0, 0
+			case p < 0.57+0.19:
+				bu, bv = 0, 1
+			case p < 0.57+0.19+0.19:
+				bu, bv = 1, 0
+			default:
+				bu, bv = 1, 1
+			}
+			u = u<<1 | bu
+			v = v<<1 | bv
+		}
+		if u == v {
+			continue
+		}
+		a, b := uint32(u), uint32(v)
+		if a > b {
+			a, b = b, a
+		}
+		key := uint64(a)<<32 | uint64(b)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		edges = append(edges, Edge{a, b, uint32(rng.Intn(255)) + 1})
+	}
+	return n, edges
+}
+
+// Random generates a connected Erdos-Renyi-ish graph: a random spanning
+// tree plus m-n+1 random extra edges (for robustness tests).
+func Random(n, m int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []Edge
+	for v := 1; v < n; v++ {
+		u := rng.Intn(v)
+		edges = append(edges, Edge{uint32(u), uint32(v), uint32(rng.Intn(100)) + 1})
+	}
+	for len(edges) < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			edges = append(edges, Edge{uint32(u), uint32(v), uint32(rng.Intn(100)) + 1})
+		}
+	}
+	return FromEdges(n, edges, true)
+}
+
+// ---------------------------------------------------------------------------
+// Host-side reference algorithms (ground truth for verification).
+// ---------------------------------------------------------------------------
+
+// Inf marks an unreached node in distance arrays.
+const Inf = ^uint64(0)
+
+// BFSLevels returns each node's BFS level from src (Inf if unreachable).
+func BFSLevels(g *Graph, src int) []uint64 {
+	dist := make([]uint64, g.N)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		lo, hi := g.Neighbors(u)
+		for i := lo; i < hi; i++ {
+			v := int(g.Dst[i])
+			if dist[v] == Inf {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Dijkstra returns shortest-path distances from src.
+func Dijkstra(g *Graph, src int) []uint64 {
+	dist := make([]uint64, g.N)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	type item struct {
+		d uint64
+		u int
+	}
+	pq := &itemHeap{}
+	*pq = append(*pq, item{0, src})
+	for pq.Len() > 0 {
+		it := pq.pop()
+		if dist[it.u] != Inf {
+			continue
+		}
+		dist[it.u] = it.d
+		lo, hi := g.Neighbors(it.u)
+		for i := lo; i < hi; i++ {
+			v := int(g.Dst[i])
+			if dist[v] == Inf {
+				pq.push(item{it.d + uint64(g.W[i]), v})
+			}
+		}
+	}
+	return dist
+}
+
+type itemHeap []struct {
+	d uint64
+	u int
+}
+
+func (h *itemHeap) Len() int { return len(*h) }
+func (h *itemHeap) push(x struct {
+	d uint64
+	u int
+}) {
+	*h = append(*h, x)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p].d <= (*h)[i].d {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+func (h *itemHeap) pop() struct {
+	d uint64
+	u int
+} {
+	old := *h
+	min := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r, s := 2*i+1, 2*i+2, i
+		if l < n && old[l].d < old[s].d {
+			s = l
+		}
+		if r < n && old[r].d < old[s].d {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		old[i], old[s] = old[s], old[i]
+		i = s
+	}
+	return min
+}
+
+// MSFWeight returns the total weight of the minimum spanning forest
+// (reference Kruskal over the edge list).
+func MSFWeight(n int, edges []Edge) uint64 {
+	sorted := append([]Edge(nil), edges...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].W != sorted[j].W {
+			return sorted[i].W < sorted[j].W
+		}
+		if sorted[i].U != sorted[j].U {
+			return sorted[i].U < sorted[j].U
+		}
+		return sorted[i].V < sorted[j].V
+	})
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	var total uint64
+	for _, e := range sorted {
+		ru, rv := find(int(e.U)), find(int(e.V))
+		if ru != rv {
+			parent[ru] = rv
+			total += uint64(e.W)
+		}
+	}
+	return total
+}

@@ -1,0 +1,252 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTriMeshStructure(t *testing.T) {
+	g := TriMesh(10, 12)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 120 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if g.MaxDegree() > 6 {
+		t.Fatalf("tri-mesh degree %d > 6", g.MaxDegree())
+	}
+	// Expected undirected edge count: horizontal 10*11 + vertical 9*12 +
+	// diagonal 9*11 = 110+108+99 = 317; CSR stores both directions.
+	if g.M() != 2*317 {
+		t.Fatalf("M = %d, want %d", g.M(), 2*317)
+	}
+	// Connected: BFS reaches everything.
+	dist := BFSLevels(g, 0)
+	for u, d := range dist {
+		if d == Inf {
+			t.Fatalf("node %d unreachable", u)
+		}
+	}
+	// Deep: corner-to-corner level = max(rows,cols)-1 via diagonals.
+	if dist[119] != 11 {
+		t.Fatalf("far corner level = %d, want 11", dist[119])
+	}
+}
+
+func TestTriMeshIsDeep(t *testing.T) {
+	// The paper's hugetric has 2799 levels on 7.1M nodes; our stand-in
+	// must also have level count ~ O(side length).
+	g := TriMesh(60, 40)
+	dist := BFSLevels(g, 0)
+	maxLevel := uint64(0)
+	for _, d := range dist {
+		if d != Inf && d > maxLevel {
+			maxLevel = d
+		}
+	}
+	if maxLevel < 50 {
+		t.Fatalf("max BFS level %d: mesh too shallow to stress cross-level speculation", maxLevel)
+	}
+}
+
+func TestRoadNetProperties(t *testing.T) {
+	g := RoadNet(30, 30, 42)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxDegree() > 4 {
+		t.Fatalf("road degree %d > 4", g.MaxDegree())
+	}
+	dist := BFSLevels(g, 0)
+	for u, d := range dist {
+		if d == Inf {
+			t.Fatalf("road network disconnected at node %d", u)
+		}
+	}
+	// Weights at least Euclidean distance (admissibility for A*).
+	for u := 0; u < g.N; u++ {
+		lo, hi := g.Neighbors(u)
+		for i := lo; i < hi; i++ {
+			v := int(g.Dst[i])
+			dx, dy := g.X[u]-g.X[v], g.Y[u]-g.Y[v]
+			eu := (dx*dx + dy*dy)
+			// w >= sqrt(eu)*coordScale  <=>  w^2 >= eu*coordScale^2
+			w := float64(g.W[i])
+			if w*w < eu*coordScale*coordScale-1e-6 {
+				t.Fatalf("edge %d-%d weight %v below Euclidean bound", u, v, g.W[i])
+			}
+		}
+	}
+}
+
+func TestRoadNetDeterminism(t *testing.T) {
+	a := RoadNet(20, 20, 7)
+	b := RoadNet(20, 20, 7)
+	if a.M() != b.M() {
+		t.Fatal("same seed, different edge count")
+	}
+	for i := range a.Dst {
+		if a.Dst[i] != b.Dst[i] || a.W[i] != b.W[i] {
+			t.Fatal("same seed, different graph")
+		}
+	}
+	c := RoadNet(20, 20, 8)
+	same := c.M() == a.M()
+	if same {
+		for i := range a.Dst {
+			if a.Dst[i] != c.Dst[i] || a.W[i] != c.W[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestKroneckerSkew(t *testing.T) {
+	n, edges := Kronecker(10, 8, 1)
+	if n != 1024 {
+		t.Fatalf("n = %d", n)
+	}
+	if len(edges) != 1024*8/2 {
+		t.Fatalf("edges = %d, want %d", len(edges), 1024*4)
+	}
+	g := FromEdges(n, edges, true)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Power-law-ish: max degree far above average.
+	if g.MaxDegree() < 4*8 {
+		t.Fatalf("max degree %d: no skew, not Kronecker-like", g.MaxDegree())
+	}
+	for _, e := range edges {
+		if e.U == e.V {
+			t.Fatal("self loop survived")
+		}
+		if e.W < 1 || e.W > 255 {
+			t.Fatalf("weight %d out of range", e.W)
+		}
+	}
+}
+
+// Property: Dijkstra distances satisfy the triangle inequality over every
+// arc, and BFS levels differ by at most 1 across arcs.
+func TestReferenceAlgorithmInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := Random(50+rng.Intn(50), 200, seed)
+		dd := Dijkstra(g, 0)
+		bd := BFSLevels(g, 0)
+		for u := 0; u < g.N; u++ {
+			lo, hi := g.Neighbors(u)
+			for i := lo; i < hi; i++ {
+				v := int(g.Dst[i])
+				if dd[u] != Inf && dd[v] > dd[u]+uint64(g.W[i]) {
+					return false
+				}
+				if bd[u] != Inf && bd[v] > bd[u]+1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSFWeightAgainstDenseReference(t *testing.T) {
+	// Small complete-ish graph: compare Kruskal against brute-force
+	// Prim implemented independently.
+	rng := rand.New(rand.NewSource(3))
+	n := 12
+	var edges []Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, Edge{uint32(u), uint32(v), uint32(rng.Intn(50)) + 1})
+		}
+	}
+	got := MSFWeight(n, edges)
+	// Prim.
+	adj := make([][]uint64, n)
+	for i := range adj {
+		adj[i] = make([]uint64, n)
+		for j := range adj[i] {
+			adj[i][j] = Inf
+		}
+	}
+	for _, e := range edges {
+		if uint64(e.W) < adj[e.U][e.V] {
+			adj[e.U][e.V] = uint64(e.W)
+			adj[e.V][e.U] = uint64(e.W)
+		}
+	}
+	inTree := make([]bool, n)
+	key := make([]uint64, n)
+	for i := range key {
+		key[i] = Inf
+	}
+	key[0] = 0
+	var total uint64
+	for it := 0; it < n; it++ {
+		best := -1
+		for v := 0; v < n; v++ {
+			if !inTree[v] && (best < 0 || key[v] < key[best]) {
+				best = v
+			}
+		}
+		inTree[best] = true
+		total += key[best]
+		for v := 0; v < n; v++ {
+			if !inTree[v] && adj[best][v] < key[v] {
+				key[v] = adj[best][v]
+			}
+		}
+	}
+	if got != total {
+		t.Fatalf("Kruskal = %d, Prim = %d", got, total)
+	}
+}
+
+func TestPackRoundTrip(t *testing.T) {
+	g := RoadNet(8, 8, 5)
+	memory := map[uint64]uint64{}
+	brk := uint64(0x1000)
+	alloc := func(n uint64) uint64 { a := brk; brk += (n + 63) &^ 63; return a }
+	store := func(a, v uint64) { memory[a] = v }
+	gc := Pack(g, alloc, store)
+	if gc.N != uint64(g.N) || gc.M != uint64(g.M()) {
+		t.Fatal("sizes wrong")
+	}
+	for u := 0; u < g.N; u++ {
+		if memory[gc.OffAddr(uint64(u))] != uint64(g.Offsets[u]) {
+			t.Fatalf("offset %d mismatched", u)
+		}
+		if memory[gc.DistAddr(uint64(u))] != Unvisited {
+			t.Fatalf("dist %d not initialized", u)
+		}
+	}
+	for i := 0; i < g.M(); i++ {
+		if memory[gc.DstAddr(uint64(i))] != uint64(g.Dst[i]) {
+			t.Fatalf("dst %d mismatched", i)
+		}
+		if memory[gc.WAddr(uint64(i))] != uint64(g.W[i]) {
+			t.Fatalf("w %d mismatched", i)
+		}
+	}
+}
+
+func TestFromEdgesDirected(t *testing.T) {
+	g := FromEdges(3, []Edge{{0, 1, 5}, {1, 2, 7}}, false)
+	if g.M() != 2 {
+		t.Fatalf("M = %d", g.M())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 || g.Degree(2) != 0 {
+		t.Fatal("directed degrees wrong")
+	}
+}

@@ -1,0 +1,81 @@
+package graph
+
+// GuestCSR is a CSR graph laid out in guest memory, plus a per-node
+// distance array initialized to Unvisited. All benchmark flavors (serial,
+// software-parallel, Swarm) operate on this layout, so they perform the
+// same work on the same data structures (§5).
+type GuestCSR struct {
+	N    uint64
+	M    uint64
+	Off  uint64 // N+1 words: arc offsets
+	Dst  uint64 // M words: arc targets
+	W    uint64 // M words: arc weights (0 if absent)
+	Dist uint64 // N words: per-node distance, Unvisited initially
+	XY   uint64 // 2N words: fixed-point coordinates (0 if absent)
+}
+
+// Unvisited is the initial distance value.
+const Unvisited = ^uint64(0)
+
+// CoordScale converts unit coordinate distance into weight units (shared
+// with the RoadNet generator so A*'s heuristic is admissible).
+const CoordScale = coordScale
+
+// coordFixed converts a float coordinate to 16.16 fixed point.
+func coordFixed(f float64) uint64 { return uint64(int64(f * 65536)) }
+
+// Pack lays the graph out in guest memory. alloc and store are the
+// setup-time (untimed) primitives of the target machine.
+func Pack(g *Graph, alloc func(uint64) uint64, store func(addr, val uint64)) GuestCSR {
+	n, m := uint64(g.N), uint64(g.M())
+	gc := GuestCSR{
+		N:    n,
+		M:    m,
+		Off:  alloc((n + 1) * 8),
+		Dst:  alloc(m * 8),
+		Dist: alloc(n * 8),
+	}
+	for i := uint64(0); i <= n; i++ {
+		store(gc.Off+i*8, uint64(g.Offsets[i]))
+	}
+	for i := uint64(0); i < m; i++ {
+		store(gc.Dst+i*8, uint64(g.Dst[i]))
+	}
+	if g.W != nil {
+		gc.W = alloc(m * 8)
+		for i := uint64(0); i < m; i++ {
+			store(gc.W+i*8, uint64(g.W[i]))
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		store(gc.Dist+i*8, Unvisited)
+	}
+	if g.X != nil {
+		gc.XY = alloc(2 * n * 8)
+		for i := uint64(0); i < n; i++ {
+			store(gc.XY+2*i*8, coordFixed(g.X[i]))
+			store(gc.XY+(2*i+1)*8, coordFixed(g.Y[i]))
+		}
+	}
+	return gc
+}
+
+// Addresses of individual fields.
+
+// OffAddr returns the address of Offsets[i].
+func (gc GuestCSR) OffAddr(i uint64) uint64 { return gc.Off + i*8 }
+
+// DstAddr returns the address of Dst[i].
+func (gc GuestCSR) DstAddr(i uint64) uint64 { return gc.Dst + i*8 }
+
+// WAddr returns the address of W[i].
+func (gc GuestCSR) WAddr(i uint64) uint64 { return gc.W + i*8 }
+
+// DistAddr returns the address of Dist[u].
+func (gc GuestCSR) DistAddr(u uint64) uint64 { return gc.Dist + u*8 }
+
+// XAddr and YAddr return coordinate addresses.
+func (gc GuestCSR) XAddr(u uint64) uint64 { return gc.XY + 2*u*8 }
+
+// YAddr returns the address of node u's y coordinate.
+func (gc GuestCSR) YAddr(u uint64) uint64 { return gc.XY + (2*u+1)*8 }

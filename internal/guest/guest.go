@@ -1,0 +1,236 @@
+// Package guest runs guest code — Swarm task bodies and baseline thread
+// bodies — against the simulated machine. Guest code is ordinary Go written
+// against the Env interface; every architectural operation (load, store,
+// compute, enqueue, ...) is surrendered to the simulator, which times it,
+// applies it atomically, and resumes the guest.
+//
+// Two transports implement the surrender: Coroutine runs the guest on its
+// own goroutine with a strict rendezvous per operation (used when several
+// guests interleave: Swarm cores, baseline threads), and direct execution,
+// where the simulator embeds an Env that applies operations inline (used
+// for single-threaded serial baselines and the oracle profiler, which need
+// no interleaving).
+//
+// Exactly one guest goroutine is runnable at any instant, so simulations
+// remain sequential and deterministic.
+package guest
+
+import "fmt"
+
+// OpKind discriminates guest operations.
+type OpKind int
+
+const (
+	// OpLoad reads the 64-bit word at Addr.
+	OpLoad OpKind = iota
+	// OpStore writes Val to the word at Addr.
+	OpStore
+	// OpWork models N cycles of non-memory instructions.
+	OpWork
+	// OpEnqueue creates a child task described by Task (Swarm only).
+	OpEnqueue
+	// OpAlloc allocates N bytes of guest memory; result is the address.
+	OpAlloc
+	// OpFree releases [Addr, Addr+N).
+	OpFree
+	// OpCAS compares the word at Addr with Old and, if equal, stores Val.
+	// Result.OK reports success (thread mode only).
+	OpCAS
+	// OpFetchAdd atomically adds Val to the word at Addr and returns the
+	// old value (thread mode only).
+	OpFetchAdd
+	// OpDone signals that the guest function returned.
+	OpDone
+	// OpAborted signals that the guest unwound after an abort.
+	OpAborted
+)
+
+// TaskDesc is an architectural task descriptor: function pointer (an index
+// into the program's function table), a 64-bit timestamp, and up to three
+// 64-bit argument words (§4.1, Table 2).
+type TaskDesc struct {
+	Fn   int
+	TS   uint64
+	Args [3]uint64
+}
+
+// Op is one operation surrendered by a guest.
+type Op struct {
+	Kind OpKind
+	Addr uint64
+	Val  uint64
+	Old  uint64 // OpCAS expected value
+	N    uint64 // OpWork cycles / OpAlloc+OpFree size
+	Task TaskDesc
+}
+
+// Result is the simulator's reply to an Op.
+type Result struct {
+	Val   uint64
+	OK    bool
+	Abort bool // unwind the guest now (speculative task squashed)
+}
+
+// Env is the architectural interface guest code runs against. All guest
+// data lives in simulated memory; all costs flow through these calls.
+type Env interface {
+	// Load returns the 64-bit word at the (8-byte aligned) address.
+	Load(addr uint64) uint64
+	// Store writes the 64-bit word at the (8-byte aligned) address.
+	Store(addr, val uint64)
+	// Work charges n cycles of non-memory instructions.
+	Work(n uint64)
+	// Alloc returns the address of a fresh n-byte guest region.
+	Alloc(n uint64) uint64
+	// Free releases an allocation (task-aware: reuse happens only after
+	// the freeing task commits).
+	Free(addr, n uint64)
+}
+
+// TaskEnv is the environment visible to a Swarm task (§4.1's API:
+// taskFn(timestamp, args...) plus enqueueTask).
+type TaskEnv interface {
+	Env
+	// Timestamp returns the task's programmer-assigned timestamp.
+	Timestamp() uint64
+	// Arg returns the i-th argument word (i < 3).
+	Arg(i int) uint64
+	// Enqueue creates a child task with an equal or later timestamp.
+	Enqueue(fn int, ts uint64, args ...uint64)
+}
+
+// ThreadEnv is the environment visible to a software-baseline thread.
+type ThreadEnv interface {
+	Env
+	// ID returns the thread id, in [0, Threads()).
+	ID() int
+	// Threads returns the thread count.
+	Threads() int
+	// CAS atomically compares-and-swaps the word at addr.
+	CAS(addr, old, new uint64) bool
+	// FetchAdd atomically adds delta and returns the previous value.
+	FetchAdd(addr, delta uint64) uint64
+}
+
+// TaskFn is a Swarm task body.
+type TaskFn func(TaskEnv)
+
+// ThreadFn is a baseline thread body.
+type ThreadFn func(ThreadEnv)
+
+// abortSignal unwinds a guest goroutine when its task is squashed.
+type abortSignal struct{}
+
+// Coroutine runs one guest on a dedicated goroutine, exchanging exactly one
+// (Result, Op) pair per Resume call.
+type Coroutine struct {
+	ops  chan Op
+	res  chan Result
+	done bool
+}
+
+// start launches body; the goroutine blocks until the first Resume.
+func start(body func(transport *Coroutine)) *Coroutine {
+	co := &Coroutine{ops: make(chan Op), res: make(chan Result)}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(abortSignal); ok {
+					co.ops <- Op{Kind: OpAborted}
+					return
+				}
+				panic(r)
+			}
+		}()
+		<-co.res // wait for the initial Resume
+		body(co)
+		co.ops <- Op{Kind: OpDone}
+	}()
+	return co
+}
+
+// StartTask launches a coroutine running a Swarm task body.
+func StartTask(fn TaskFn, desc TaskDesc) *Coroutine {
+	return start(func(co *Coroutine) {
+		fn(&coTaskEnv{coEnv{co: co}, desc})
+	})
+}
+
+// StartThread launches a coroutine running a baseline thread body.
+func StartThread(fn ThreadFn, id, threads int) *Coroutine {
+	return start(func(co *Coroutine) {
+		fn(&coThreadEnv{coEnv{co: co}, id, threads})
+	})
+}
+
+// Resume delivers a result to the guest and returns its next operation.
+// After an Op of kind OpDone or OpAborted, Resume must not be called again.
+func (co *Coroutine) Resume(r Result) Op {
+	if co.done {
+		panic("guest: Resume after completion")
+	}
+	co.res <- r
+	op := <-co.ops
+	if op.Kind == OpDone || op.Kind == OpAborted {
+		co.done = true
+	}
+	return op
+}
+
+// Done reports whether the coroutine has finished (OpDone or OpAborted).
+func (co *Coroutine) Done() bool { return co.done }
+
+// coEnv implements Env over the rendezvous protocol.
+type coEnv struct{ co *Coroutine }
+
+func (e *coEnv) exec(op Op) Result {
+	e.co.ops <- op
+	r := <-e.co.res
+	if r.Abort {
+		panic(abortSignal{})
+	}
+	return r
+}
+
+func (e *coEnv) Load(addr uint64) uint64 { return e.exec(Op{Kind: OpLoad, Addr: addr}).Val }
+func (e *coEnv) Store(addr, val uint64)  { e.exec(Op{Kind: OpStore, Addr: addr, Val: val}) }
+func (e *coEnv) Work(n uint64) {
+	if n > 0 {
+		e.exec(Op{Kind: OpWork, N: n})
+	}
+}
+func (e *coEnv) Alloc(n uint64) uint64 { return e.exec(Op{Kind: OpAlloc, N: n}).Val }
+func (e *coEnv) Free(addr, n uint64)   { e.exec(Op{Kind: OpFree, Addr: addr, N: n}) }
+
+type coTaskEnv struct {
+	coEnv
+	desc TaskDesc
+}
+
+func (e *coTaskEnv) Timestamp() uint64 { return e.desc.TS }
+func (e *coTaskEnv) Arg(i int) uint64  { return e.desc.Args[i] }
+func (e *coTaskEnv) Enqueue(fn int, ts uint64, args ...uint64) {
+	if ts < e.desc.TS {
+		panic(fmt.Sprintf("guest: child timestamp %d before parent %d", ts, e.desc.TS))
+	}
+	d := TaskDesc{Fn: fn, TS: ts}
+	if len(args) > len(d.Args) {
+		panic("guest: task descriptors hold at most 3 argument words; allocate memory for more (§4.1)")
+	}
+	copy(d.Args[:], args)
+	e.exec(Op{Kind: OpEnqueue, Task: d})
+}
+
+type coThreadEnv struct {
+	coEnv
+	id, threads int
+}
+
+func (e *coThreadEnv) ID() int      { return e.id }
+func (e *coThreadEnv) Threads() int { return e.threads }
+func (e *coThreadEnv) CAS(addr, old, new uint64) bool {
+	return e.exec(Op{Kind: OpCAS, Addr: addr, Old: old, Val: new}).OK
+}
+func (e *coThreadEnv) FetchAdd(addr, delta uint64) uint64 {
+	return e.exec(Op{Kind: OpFetchAdd, Addr: addr, Val: delta}).Val
+}

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/swarm-sim/swarm/internal/core"
+	"github.com/swarm-sim/swarm/internal/noc"
+)
+
+// CSV exporters: plot-ready data files for every figure (the paper's
+// figures are line/stacked-bar charts; these emit their exact series).
+
+// WriteScalingCSV emits Fig 11/12 series: one row per (app, cores).
+func WriteScalingCSV(w io.Writer, results []ScalingResult) error {
+	if _, err := fmt.Fprintln(w, "app,cores,swarm_cycles,serial_cycles,parallel_cycles,self_speedup,vs_serial,parallel_vs_serial"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		self := r.SelfRelative()
+		vs := r.VsSerial()
+		pv := r.ParallelVsSerial()
+		for i, p := range r.Points {
+			if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%.3f,%.3f,%.3f\n",
+				r.App, p.Cores, p.SwarmCycles, p.SerialCycles, p.ParallelCycles,
+				self[i], vs[i], pv[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteBreakdownCSV emits Fig 14 series: normalized cycle breakdowns.
+func WriteBreakdownCSV(w io.Writer, results []ScalingResult) error {
+	if _, err := fmt.Fprintln(w, "app,cores,committed,aborted,spill,stall"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		base := float64(r.Points[0].Stats.TotalCoreCycles())
+		for _, p := range r.Points {
+			st := p.Stats
+			if _, err := fmt.Fprintf(w, "%s,%d,%.4f,%.4f,%.4f,%.4f\n",
+				r.App, p.Cores,
+				float64(st.CommittedCycles)/base, float64(st.AbortedCycles)/base,
+				float64(st.SpillCycles)/base, float64(st.StallCycles)/base); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteTrafficCSV emits Fig 16 series: per-tile GB/s by message class.
+func WriteTrafficCSV(w io.Writer, results []ScalingResult) error {
+	if _, err := fmt.Fprintln(w, "app,mem_gbps,enqueue_gbps,abort_gbps,gvt_gbps"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		st := r.Points[len(r.Points)-1].Stats
+		if _, err := fmt.Fprintf(w, "%s,%.4f,%.4f,%.4f,%.4f\n", r.App,
+			st.TrafficGBps(noc.ClassMem), st.TrafficGBps(noc.ClassEnqueue),
+			st.TrafficGBps(noc.ClassAbort), st.TrafficGBps(noc.ClassGVT)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTraceCSV emits the Fig 18 time series: one row per (sample, tile).
+func WriteTraceCSV(w io.Writer, st core.Stats) error {
+	if _, err := fmt.Fprintln(w, "cycle,tile,worker_cycles,spill_cycles,stall_cycles,task_queue,commit_queue,commits,aborts"); err != nil {
+		return err
+	}
+	for _, s := range st.Trace {
+		for ti, t := range s.Tiles {
+			if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+				s.Cycle, ti, t.Worker, t.Spill, t.Stall, t.TaskQ, t.CommitQ, t.Commits, t.Aborts); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteTable1CSV emits the limit study as CSV.
+func WriteTable1CSV(w io.Writer, rows []Table1Row) error {
+	if _, err := fmt.Fprintln(w, "app,max_parallelism,window_1k,window_64,instrs_mean,instrs_p90,reads_mean,reads_p90,writes_mean,writes_p90,max_tls"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%.1f,%.1f,%.1f,%.1f,%d,%.2f,%d,%.2f,%d,%.2f\n",
+			r.App, r.MaxParallelism, r.Window1K, r.Window64,
+			r.Instrs.Mean, r.Instrs.P90, r.Reads.Mean, r.Reads.P90,
+			r.Writes.Mean, r.Writes.P90, r.MaxTLS); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVExports(t *testing.T) {
+	s := tinySuite()
+	r, err := s.Scaling(s.Benchmarks[1], []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := []ScalingResult{r}
+
+	var buf bytes.Buffer
+	if err := WriteScalingCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 { // header + 2 points
+		t.Fatalf("scaling csv lines = %d:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[1], "sssp,1,") {
+		t.Fatalf("unexpected first row %q", lines[1])
+	}
+
+	buf.Reset()
+	if err := WriteBreakdownCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "committed") {
+		t.Fatal("breakdown csv missing header")
+	}
+
+	buf.Reset()
+	if err := WriteTrafficCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(strings.TrimSpace(buf.String()), "\n")) != 2 {
+		t.Fatal("traffic csv should have header + one app row")
+	}
+
+	buf.Reset()
+	st, err := s.Fig18()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTraceCSV(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(rows) < 1+4 { // header + >= 1 sample x 4 tiles
+		t.Fatalf("trace csv too short: %d rows", len(rows))
+	}
+
+	buf.Reset()
+	if err := WriteTable1CSV(&buf, s.Table1(200)); err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(strings.TrimSpace(buf.String()), "\n")) != 7 {
+		t.Fatal("table1 csv should have header + 6 apps")
+	}
+}

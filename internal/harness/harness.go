@@ -1,0 +1,466 @@
+// Package harness runs the paper's experiments: it drives the benchmark
+// suite across machine sizes and configurations and produces the data
+// behind every table and figure in the evaluation (§6), formatted as the
+// same rows/series the paper reports.
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/swarm-sim/swarm/internal/bench"
+	"github.com/swarm-sim/swarm/internal/bloom"
+	"github.com/swarm-sim/swarm/internal/core"
+	"github.com/swarm-sim/swarm/internal/oracle"
+)
+
+// Scale selects input sizes: Tiny for unit tests, Small for the bench
+// harness, Medium for cmd/experiments runs (minutes).
+type Scale int
+
+const (
+	ScaleTiny Scale = iota
+	ScaleSmall
+	ScaleMedium
+)
+
+func (s Scale) String() string {
+	return [...]string{"tiny", "small", "medium"}[s]
+}
+
+// Suite is the six-benchmark suite at a given scale.
+type Suite struct {
+	Scale      Scale
+	Benchmarks []bench.Benchmark
+
+	// caches keyed by app name and cores.
+	serialCycles map[string]map[int]uint64
+	silos        map[int]*bench.Silo // by warehouse count (Fig 13)
+}
+
+// NewSuite builds the suite. Inputs shrink with scale but keep the
+// structural properties that drive each benchmark's behaviour (deep mesh,
+// road network, skewed Kronecker graph, chained adder array, TPC-C mix).
+func NewSuite(s Scale) *Suite {
+	var bs []bench.Benchmark
+	switch s {
+	case ScaleTiny:
+		bs = []bench.Benchmark{
+			bench.NewBFS(40, 10),
+			bench.NewSSSP(16, 16, 3),
+			bench.NewAStar(18, 18, 4),
+			bench.NewMSF(7, 16, 5),
+			bench.NewDES(3, 8, 2, 6),
+			bench.NewSilo(2, 60, 7),
+		}
+	case ScaleSmall:
+		bs = []bench.Benchmark{
+			bench.NewBFS(100, 12),
+			bench.NewSSSP(36, 36, 3),
+			bench.NewAStar(40, 40, 4),
+			bench.NewMSF(9, 16, 5),
+			bench.NewDES(6, 8, 4, 6),
+			bench.NewSilo(4, 200, 7),
+		}
+	default: // ScaleMedium
+		bs = []bench.Benchmark{
+			bench.NewBFS(400, 18),
+			bench.NewSSSP(80, 80, 3),
+			bench.NewAStar(90, 90, 4),
+			bench.NewMSF(10, 24, 5),
+			bench.NewDES(16, 8, 6, 6),
+			bench.NewSilo(4, 800, 7),
+		}
+	}
+	return &Suite{
+		Scale:        s,
+		Benchmarks:   bs,
+		serialCycles: make(map[string]map[int]uint64),
+		silos:        make(map[int]*bench.Silo),
+	}
+}
+
+// Serial returns (cached) serial cycles for an app on an nCores-sized
+// machine.
+func (s *Suite) Serial(b bench.Benchmark, nCores int) (uint64, error) {
+	m, ok := s.serialCycles[b.Name()]
+	if !ok {
+		m = make(map[int]uint64)
+		s.serialCycles[b.Name()] = m
+	}
+	if c, ok := m[nCores]; ok {
+		return c, nil
+	}
+	c, err := b.RunSerial(nCores)
+	if err != nil {
+		return 0, err
+	}
+	m[nCores] = c
+	return c, nil
+}
+
+func gmean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vals {
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vals)))
+}
+
+// ---------------------------------------------------------------- Table 1 --
+
+// Table1Row is one application's column in Table 1.
+type Table1Row struct {
+	App            string
+	MaxParallelism float64
+	Window1K       float64
+	Window64       float64
+	Instrs         oracle.Stat
+	Reads          oracle.Stat
+	Writes         oracle.Stat
+	MaxTLS         float64
+}
+
+// Table1 runs the oracle analysis for every benchmark. maxTasks bounds the
+// profiled task count (0 = all).
+func (s *Suite) Table1(maxTasks int) []Table1Row {
+	rows := make([]Table1Row, 0, len(s.Benchmarks))
+	for _, b := range s.Benchmarks {
+		p := oracle.ProfileTasks(b.SwarmApp().Build, maxTasks)
+		tls := oracle.ProfileSerial(b.SerialApp().Build, maxTasks)
+		rows = append(rows, Table1Row{
+			App:            b.Name(),
+			MaxParallelism: p.MaxParallelism(),
+			Window1K:       p.WindowParallelism(1024),
+			Window64:       p.WindowParallelism(64),
+			Instrs:         p.InstrStats(),
+			Reads:          p.ReadStats(),
+			Writes:         p.WriteStats(),
+			MaxTLS:         tls.MaxParallelism(),
+		})
+	}
+	return rows
+}
+
+// --------------------------------------------------------------- Fig 11/12 --
+
+// ScalingPoint is one (app, cores) measurement.
+type ScalingPoint struct {
+	Cores          int
+	SwarmCycles    uint64
+	SerialCycles   uint64
+	ParallelCycles uint64 // 0 if no software-parallel version
+	Stats          core.Stats
+}
+
+// ScalingResult is an app's scaling series (Fig 11/12).
+type ScalingResult struct {
+	App    string
+	Points []ScalingPoint
+}
+
+// SelfRelative returns Fig 11's series: speedup over 1-core Swarm.
+func (r ScalingResult) SelfRelative() []float64 {
+	out := make([]float64, len(r.Points))
+	base := float64(r.Points[0].SwarmCycles)
+	if r.Points[0].Cores != 1 {
+		base = float64(r.Points[0].SwarmCycles) // first point is the base
+	}
+	for i, p := range r.Points {
+		out[i] = base / float64(p.SwarmCycles)
+	}
+	return out
+}
+
+// VsSerial returns Fig 12's Swarm series: speedup over the tuned serial
+// version on a same-sized machine.
+func (r ScalingResult) VsSerial() []float64 {
+	out := make([]float64, len(r.Points))
+	for i, p := range r.Points {
+		out[i] = float64(p.SerialCycles) / float64(p.SwarmCycles)
+	}
+	return out
+}
+
+// ParallelVsSerial returns Fig 12's software-parallel series.
+func (r ScalingResult) ParallelVsSerial() []float64 {
+	out := make([]float64, len(r.Points))
+	for i, p := range r.Points {
+		if p.ParallelCycles > 0 {
+			out[i] = float64(p.SerialCycles) / float64(p.ParallelCycles)
+		}
+	}
+	return out
+}
+
+// Scaling runs Swarm, serial and software-parallel versions across core
+// counts (Fig 11, Fig 12, and the underlying data of Fig 14).
+func (s *Suite) Scaling(b bench.Benchmark, coreCounts []int) (ScalingResult, error) {
+	res := ScalingResult{App: b.Name()}
+	for _, nc := range coreCounts {
+		serial, err := s.Serial(b, nc)
+		if err != nil {
+			return res, fmt.Errorf("%s serial @%dc: %w", b.Name(), nc, err)
+		}
+		st, err := b.RunSwarm(core.DefaultConfig(nc))
+		if err != nil {
+			return res, fmt.Errorf("%s swarm @%dc: %w", b.Name(), nc, err)
+		}
+		pt := ScalingPoint{Cores: nc, SwarmCycles: st.Cycles, SerialCycles: serial, Stats: st}
+		if b.HasParallel() {
+			par, err := b.RunParallel(nc)
+			if err != nil {
+				return res, fmt.Errorf("%s parallel @%dc: %w", b.Name(), nc, err)
+			}
+			pt.ParallelCycles = par
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// ----------------------------------------------------------------- Fig 13 --
+
+// SiloWarehousePoint is one Fig 13 measurement.
+type SiloWarehousePoint struct {
+	Warehouses      int
+	SwarmSpeedup    float64 // vs serial, at Cores
+	ParallelSpeedup float64
+}
+
+// Fig13 sweeps TPC-C warehouse counts at a fixed core count.
+func (s *Suite) Fig13(warehouses []int, cores, txns int) ([]SiloWarehousePoint, error) {
+	var out []SiloWarehousePoint
+	for _, wh := range warehouses {
+		b, ok := s.silos[wh]
+		if !ok {
+			b = bench.NewSilo(wh, txns, 7)
+			s.silos[wh] = b
+		}
+		serial, err := b.RunSerial(cores)
+		if err != nil {
+			return nil, err
+		}
+		st, err := b.RunSwarm(core.DefaultConfig(cores))
+		if err != nil {
+			return nil, err
+		}
+		par, err := b.RunParallel(cores)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SiloWarehousePoint{
+			Warehouses:      wh,
+			SwarmSpeedup:    float64(serial) / float64(st.Cycles),
+			ParallelSpeedup: float64(serial) / float64(par),
+		})
+	}
+	return out, nil
+}
+
+// ----------------------------------------------------------------- Table 5 --
+
+// Table5Row reports gmean speedups under progressive idealizations.
+type Table5Row struct {
+	Config       string
+	OneCore      float64 // 1c vs 1c-baseline
+	SixtyFour    float64 // Nc vs 1c-baseline
+	SelfRelative float64 // Nc vs 1c same idealization
+}
+
+// Table5 applies the paper's idealizations: unbounded queues, then a
+// zero-cycle memory system, at 1 core and at maxCores.
+func (s *Suite) Table5(maxCores int) ([]Table5Row, error) {
+	type variant struct {
+		name  string
+		tweak func(*core.Config)
+	}
+	variants := []variant{
+		{"Swarm baseline", func(c *core.Config) {}},
+		{"+ unbounded queues", func(c *core.Config) { c.UnboundedQueues = true }},
+		{"+ 0-cycle mem system", func(c *core.Config) {
+			c.UnboundedQueues = true
+			c.Cache.ZeroLatency = true
+		}},
+	}
+	base1 := make(map[string]uint64)
+	rows := make([]Table5Row, 0, len(variants))
+	for vi, v := range variants {
+		var sp1, spN, spSelf []float64
+		for _, b := range s.Benchmarks {
+			cfg1 := core.DefaultConfig(1)
+			v.tweak(&cfg1)
+			st1, err := b.RunSwarm(cfg1)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s 1c: %w", b.Name(), v.name, err)
+			}
+			cfgN := core.DefaultConfig(maxCores)
+			v.tweak(&cfgN)
+			stN, err := b.RunSwarm(cfgN)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s %dc: %w", b.Name(), v.name, maxCores, err)
+			}
+			if vi == 0 {
+				base1[b.Name()] = st1.Cycles
+			}
+			b1 := float64(base1[b.Name()])
+			sp1 = append(sp1, b1/float64(st1.Cycles))
+			spN = append(spN, b1/float64(stN.Cycles))
+			spSelf = append(spSelf, float64(st1.Cycles)/float64(stN.Cycles))
+		}
+		rows = append(rows, Table5Row{
+			Config:       v.name,
+			OneCore:      gmean(sp1),
+			SixtyFour:    gmean(spN),
+			SelfRelative: gmean(spSelf),
+		})
+	}
+	return rows, nil
+}
+
+// ----------------------------------------------------------- Fig 17 sweeps --
+
+// SweepPoint is one sensitivity measurement: performance relative to the
+// default configuration.
+type SweepPoint struct {
+	Label string
+	Perf  []float64 // per app, relative to default config
+}
+
+// CommitQueueSweep reproduces Fig 17(a): performance vs aggregate commit
+// queue entries (0 = unbounded).
+func (s *Suite) CommitQueueSweep(cores int, totals []int) ([]SweepPoint, error) {
+	base := make([]uint64, len(s.Benchmarks))
+	for i, b := range s.Benchmarks {
+		st, err := b.RunSwarm(core.DefaultConfig(cores))
+		if err != nil {
+			return nil, err
+		}
+		base[i] = st.Cycles
+	}
+	var out []SweepPoint
+	for _, tot := range totals {
+		pt := SweepPoint{Label: fmt.Sprintf("%d", tot)}
+		if tot == 0 {
+			pt.Label = "INF"
+		}
+		for i, b := range s.Benchmarks {
+			cfg := core.DefaultConfig(cores)
+			if tot == 0 {
+				// Unbounded commit queues only: emulate with a huge cap.
+				cfg.CommitQPerCore = 1 << 20
+			} else {
+				cfg.CommitQPerCore = tot / cfg.Cores()
+				if cfg.CommitQPerCore < 1 {
+					cfg.CommitQPerCore = 1
+				}
+			}
+			st, err := b.RunSwarm(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s cq=%d: %w", b.Name(), tot, err)
+			}
+			pt.Perf = append(pt.Perf, float64(base[i])/float64(st.Cycles))
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// BloomSweep reproduces Fig 17(b): performance vs signature configuration.
+func (s *Suite) BloomSweep(cores int, cfgs []bloom.Config) ([]SweepPoint, error) {
+	base := make([]uint64, len(s.Benchmarks))
+	for i, b := range s.Benchmarks {
+		st, err := b.RunSwarm(core.DefaultConfig(cores))
+		if err != nil {
+			return nil, err
+		}
+		base[i] = st.Cycles
+	}
+	var out []SweepPoint
+	for _, bc := range cfgs {
+		pt := SweepPoint{Label: bc.String()}
+		for i, b := range s.Benchmarks {
+			cfg := core.DefaultConfig(cores)
+			cfg.Bloom = bc
+			st, err := b.RunSwarm(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s bloom=%v: %w", b.Name(), bc, err)
+			}
+			pt.Perf = append(pt.Perf, float64(base[i])/float64(st.Cycles))
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// GVTSweep reproduces the §6.4 GVT-period sensitivity study.
+func (s *Suite) GVTSweep(cores int, periods []uint64) ([]SweepPoint, error) {
+	base := make([]uint64, len(s.Benchmarks))
+	for i, b := range s.Benchmarks {
+		st, err := b.RunSwarm(core.DefaultConfig(cores))
+		if err != nil {
+			return nil, err
+		}
+		base[i] = st.Cycles
+	}
+	var out []SweepPoint
+	for _, p := range periods {
+		pt := SweepPoint{Label: fmt.Sprintf("%d", p)}
+		for i, b := range s.Benchmarks {
+			cfg := core.DefaultConfig(cores)
+			cfg.GVTPeriod = p
+			st, err := b.RunSwarm(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s gvt=%d: %w", b.Name(), p, err)
+			}
+			pt.Perf = append(pt.Perf, float64(base[i])/float64(st.Cycles))
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// CanaryStudy reproduces the §6.3 canary-precision comparison: per-line vs
+// per-set canary virtual times (global check reduction and speedup).
+func (s *Suite) CanaryStudy(cores int) (checkReduction, gmeanSpeedup float64, err error) {
+	var reds, sps []float64
+	for _, b := range s.Benchmarks {
+		cfg := core.DefaultConfig(cores)
+		st, err := b.RunSwarm(cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		cfgP := core.DefaultConfig(cores)
+		cfgP.Cache.CanaryPerLine = true
+		stP, err := b.RunSwarm(cfgP)
+		if err != nil {
+			return 0, 0, err
+		}
+		if g := float64(st.Cache.GlobalChecks); g > 0 {
+			reds = append(reds, 1-float64(stP.Cache.GlobalChecks)/g)
+		}
+		sps = append(sps, float64(st.Cycles)/float64(stP.Cycles))
+	}
+	var sum float64
+	for _, r := range reds {
+		sum += r
+	}
+	return sum / float64(len(reds)), gmean(sps), nil
+}
+
+// Fig18 runs the astar case study with a per-tile tracer on a 16-core,
+// 4-tile machine (500-cycle samples).
+func (s *Suite) Fig18() (core.Stats, error) {
+	var astar bench.Benchmark
+	for _, b := range s.Benchmarks {
+		if b.Name() == "astar" {
+			astar = b
+		}
+	}
+	cfg := core.DefaultConfig(16)
+	cfg.TraceInterval = 500
+	return astar.RunSwarm(cfg)
+}

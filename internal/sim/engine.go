@@ -1,0 +1,138 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that everything else in the simulator is built on.
+//
+// The engine is sequential: events fire one at a time in (cycle, insertion
+// sequence) order, so a simulation is a pure function of its inputs. This
+// mirrors the paper's in-house sequential, event-driven simulator (§5).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events may be cancelled before they fire;
+// cancelled events are dropped lazily when they reach the head of the queue.
+type Event struct {
+	cycle     uint64
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Cycle returns the cycle at which the event is scheduled to fire.
+func (ev *Event) Cycle() uint64 { return ev.cycle }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (ev *Event) Cancel() { ev.cancelled = true }
+
+// Cancelled reports whether Cancel was called on the event.
+func (ev *Event) Cancelled() bool { return ev.cancelled }
+
+// Engine is a discrete-event simulator clock and pending-event queue.
+// The zero value is ready to use.
+type Engine struct {
+	now   uint64
+	seq   uint64
+	queue eventQueue
+	fired uint64
+}
+
+// Now returns the current simulation cycle.
+func (e *Engine) Now() uint64 { return e.now }
+
+// Fired returns the total number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled events that have not yet been discarded).
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// At schedules fn to run at the given absolute cycle. Scheduling in the past
+// panics: it would silently corrupt causality.
+func (e *Engine) At(cycle uint64, fn func()) *Event {
+	if cycle < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at cycle %d before now (%d)", cycle, e.now))
+	}
+	ev := &Event{cycle: cycle, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay uint64, fn func()) *Event {
+	return e.At(e.now+delay, fn)
+}
+
+// Step fires the next non-cancelled event. It returns false when the queue
+// is empty.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		if ev.cycle < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.cycle
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty or the cycle limit is exceeded.
+// A limit of 0 means no limit. It returns an error if the limit was hit,
+// which almost always indicates a livelocked simulation.
+func (e *Engine) Run(limit uint64) error {
+	for e.Step() {
+		if limit != 0 && e.now > limit {
+			return fmt.Errorf("sim: cycle limit %d exceeded at cycle %d (%d events fired)", limit, e.now, e.fired)
+		}
+	}
+	return nil
+}
+
+// RunUntil fires events until stop returns true or the queue empties.
+func (e *Engine) RunUntil(stop func() bool) {
+	for !stop() {
+		if !e.Step() {
+			return
+		}
+	}
+}
+
+// eventQueue is a min-heap over (cycle, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].cycle != q[j].cycle {
+		return q[i].cycle < q[j].cycle
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(10, func() { got = append(got, 1) })
+	e.At(5, func() { got = append(got, 0) })
+	e.At(10, func() { got = append(got, 2) }) // same cycle: insertion order
+	e.At(20, func() { got = append(got, 3) })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now = %d, want 20", e.Now())
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	var e Engine
+	var trace []uint64
+	e.At(3, func() {
+		trace = append(trace, e.Now())
+		e.After(4, func() { trace = append(trace, e.Now()) })
+		e.After(0, func() { trace = append(trace, e.Now()) }) // zero delay fires same cycle, after current
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{3, 3, 7}
+	if len(trace) != 3 || trace[0] != want[0] || trace[1] != want[1] || trace[2] != want[2] {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var e Engine
+	fired := false
+	ev := e.At(5, func() { fired = true })
+	ev.Cancel()
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var e Engine
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	var e Engine
+	var tick func()
+	tick = func() { e.After(100, tick) }
+	e.After(100, tick)
+	if err := e.Run(1000); err == nil {
+		t.Fatal("expected cycle-limit error")
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	var e Engine
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+// TestRandomOrdering checks the heap delivers events in nondecreasing cycle
+// order, with FIFO tie-break, under a random workload.
+func TestRandomOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var e Engine
+	type stamp struct{ cycle, seq uint64 }
+	var fireOrder []stamp
+	var insert func()
+	count := 0
+	insert = func() {
+		if count >= 5000 {
+			return
+		}
+		count++
+		delay := uint64(rng.Intn(50))
+		var ev stamp
+		e.After(delay, func() {
+			ev = stamp{e.Now(), uint64(len(fireOrder))}
+			fireOrder = append(fireOrder, ev)
+			insert()
+			insert()
+		})
+	}
+	insert()
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(fireOrder); i++ {
+		if fireOrder[i].cycle < fireOrder[i-1].cycle {
+			t.Fatalf("event %d fired at %d after event at %d", i, fireOrder[i].cycle, fireOrder[i-1].cycle)
+		}
+	}
+	if e.Fired() == 0 {
+		t.Fatal("no events fired")
+	}
+}

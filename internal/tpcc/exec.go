@@ -1,0 +1,185 @@
+package tpcc
+
+import "github.com/swarm-sim/swarm/internal/guest"
+
+// Transaction bodies over guest.Env: the tuned serial silo runs these
+// back-to-back with no synchronization (§6.2), and the host-side reference
+// executor runs them against a zero-cost memory to produce ground truth.
+// Work() calls approximate the index traversals and field marshalling of
+// the real Silo (silo transactions average ~2000 instructions, Table 1).
+
+// txnOverhead approximates per-transaction setup (parameter parsing,
+// logging) and opCost per-tuple-access overhead (index traversal).
+const (
+	txnOverhead = 150
+	opCost      = 250
+)
+
+// ExecTxn runs transaction i against the database.
+func ExecTxn(e guest.Env, l *Layout, i uint64) {
+	base := l.TxnAddr(i)
+	typ := TxnType(e.Load(base))
+	w := e.Load(base + 1*8)
+	d := e.Load(base + 2*8)
+	c := e.Load(base + 3*8)
+	e.Work(txnOverhead)
+	switch typ {
+	case NewOrder:
+		execNewOrder(e, l, base, w, d, c)
+	case Payment:
+		execPayment(e, l, base, w, d, c)
+	case OrderStatus:
+		execOrderStatus(e, l, w, d, c)
+	case Delivery:
+		execDelivery(e, l, base, w)
+	case StockLevel:
+		execStockLevel(e, l, base, w, d)
+	}
+}
+
+func execNewOrder(e guest.Env, l *Layout, base, w, d, c uint64) {
+	// Read warehouse and district tax rates; take an order id.
+	_ = e.Load(l.WarehouseAddr(w) + FWTax*8)
+	dAddr := l.DistrictAddr(w, d)
+	_ = e.Load(dAddr + FDTax*8)
+	oid := e.Load(dAddr + FDNextOID*8)
+	e.Store(dAddr+FDNextOID*8, oid+1)
+	e.Work(opCost)
+
+	nItems := e.Load(base + 7*8)
+	// Insert the order row.
+	oAddr := l.OrderAddr(w, d, oid)
+	e.Store(oAddr+FOCid*8, c)
+	e.Store(oAddr+FOOlCnt*8, nItems)
+	e.Work(opCost)
+	// Push onto the district's new-order queue.
+	nq := l.NOQAddr(w, d)
+	tail := e.Load(nq + FNOTail*8)
+	e.Store(l.NORingAddr(w, d, tail), oid)
+	e.Store(nq+FNOTail*8, tail+1)
+	e.Work(opCost)
+
+	for j := uint64(0); j < nItems; j++ {
+		ib := base + (8+3*j)*8
+		item := e.Load(ib)
+		supplyW := e.Load(ib + 8)
+		qty := e.Load(ib + 16)
+		price := e.Load(l.ItemAddr(item) + FIPrice*8)
+		e.Work(opCost)
+
+		// Stock update (TPC-C wraparound rule).
+		sAddr := l.StockAddr(supplyW, item)
+		sq := e.Load(sAddr + FSQty*8)
+		if sq >= qty+10 {
+			sq -= qty
+		} else {
+			sq = sq - qty + 91
+		}
+		e.Store(sAddr+FSQty*8, sq)
+		e.Store(sAddr+FSYtd*8, e.Load(sAddr+FSYtd*8)+qty)
+		e.Store(sAddr+FSOrderCnt*8, e.Load(sAddr+FSOrderCnt*8)+1)
+		if supplyW != w {
+			e.Store(sAddr+FSRemoteCnt*8, e.Load(sAddr+FSRemoteCnt*8)+1)
+		}
+		e.Work(opCost)
+
+		// Order line.
+		olAddr := l.OLAddr(w, d, oid, j)
+		e.Store(olAddr+FOLItem*8, item)
+		e.Store(olAddr+FOLSupplyW*8, supplyW)
+		e.Store(olAddr+FOLQty*8, qty)
+		e.Store(olAddr+FOLAmount*8, qty*price)
+		e.Work(opCost)
+	}
+}
+
+func execPayment(e guest.Env, l *Layout, base, w, d, c uint64) {
+	amount := e.Load(base + 4*8)
+	wAddr := l.WarehouseAddr(w)
+	e.Store(wAddr+FWYtd*8, e.Load(wAddr+FWYtd*8)+amount)
+	e.Work(opCost)
+	dAddr := l.DistrictAddr(w, d)
+	e.Store(dAddr+FDYtd*8, e.Load(dAddr+FDYtd*8)+amount)
+	e.Work(opCost)
+	cAddr := l.CustomerAddr(w, d, c)
+	e.Store(cAddr+FCBalance*8, e.Load(cAddr+FCBalance*8)-amount)
+	e.Store(cAddr+FCYtdPayment*8, e.Load(cAddr+FCYtdPayment*8)+amount)
+	e.Store(cAddr+FCPaymentCnt*8, e.Load(cAddr+FCPaymentCnt*8)+1)
+	e.Work(opCost)
+}
+
+func execOrderStatus(e guest.Env, l *Layout, w, d, c uint64) {
+	// Read the customer and the district's most recent order (read-only).
+	cAddr := l.CustomerAddr(w, d, c)
+	_ = e.Load(cAddr + FCBalance*8)
+	e.Work(opCost)
+	oid := e.Load(l.DistrictAddr(w, d) + FDNextOID*8)
+	if oid == 0 {
+		return
+	}
+	oAddr := l.OrderAddr(w, d, oid-1)
+	cnt := e.Load(oAddr + FOOlCnt*8)
+	_ = e.Load(oAddr + FOCarrier*8)
+	e.Work(opCost)
+	for j := uint64(0); j < cnt; j++ {
+		_ = e.Load(l.OLAddr(w, d, oid-1, j) + FOLAmount*8)
+		e.Work(4)
+	}
+}
+
+func execDelivery(e guest.Env, l *Layout, base, w uint64) {
+	carrier := e.Load(base + 5*8)
+	for d := uint64(0); d < uint64(l.Scale.Districts); d++ {
+		nq := l.NOQAddr(w, d)
+		head := e.Load(nq + FNOHead*8)
+		tail := e.Load(nq + FNOTail*8)
+		e.Work(opCost)
+		if head == tail {
+			continue // no undelivered orders in this district
+		}
+		oid := e.Load(l.NORingAddr(w, d, head))
+		e.Store(nq+FNOHead*8, head+1)
+
+		oAddr := l.OrderAddr(w, d, oid)
+		e.Store(oAddr+FOCarrier*8, carrier)
+		cnt := e.Load(oAddr + FOOlCnt*8)
+		cid := e.Load(oAddr + FOCid*8)
+		e.Work(opCost)
+		var total uint64
+		for j := uint64(0); j < cnt; j++ {
+			olAddr := l.OLAddr(w, d, oid, j)
+			total += e.Load(olAddr + FOLAmount*8)
+			e.Store(olAddr+FOLDelivery*8, carrier) // delivery stamp
+			e.Work(4)
+		}
+		cAddr := l.CustomerAddr(w, d, cid)
+		e.Store(cAddr+FCBalance*8, e.Load(cAddr+FCBalance*8)+total)
+		e.Store(cAddr+FCDeliveryCnt*8, e.Load(cAddr+FCDeliveryCnt*8)+1)
+		e.Work(opCost)
+	}
+}
+
+func execStockLevel(e guest.Env, l *Layout, base, w, d uint64) {
+	threshold := e.Load(base + 6*8)
+	next := e.Load(l.DistrictAddr(w, d) + FDNextOID*8)
+	e.Work(opCost)
+	// Scan the last up-to-8 orders' lines, counting low stock.
+	lo := uint64(0)
+	if next > 8 {
+		lo = next - 8
+	}
+	low := uint64(0)
+	for o := lo; o < next; o++ {
+		oAddr := l.OrderAddr(w, d, o)
+		cnt := e.Load(oAddr + FOOlCnt*8)
+		for j := uint64(0); j < cnt; j++ {
+			item := e.Load(l.OLAddr(w, d, o, j) + FOLItem*8)
+			sq := e.Load(l.StockAddr(w, item) + FSQty*8)
+			e.Work(4)
+			if sq < threshold {
+				low++
+			}
+		}
+	}
+	_ = low // result returned to the client, not stored
+}

@@ -1,0 +1,244 @@
+// Package tpcc is the in-memory OLTP database substrate for the silo
+// benchmark: a scaled TPC-C schema laid out in guest memory, a
+// deterministic transaction-mix generator, transaction bodies written
+// against guest.Env (shared by the serial baseline and the host-side
+// reference executor), and state validators.
+//
+// Substitutions vs the full TPC-C (documented in DESIGN.md): customers are
+// selected by id (no last-name secondary index), item ids are uniform (no
+// NURand), and monetary values are integer cents. The conflict structure —
+// district next-order-id counters, stock updates, warehouse/district YTD
+// hotspots, new-order queues — is preserved, which is what drives silo's
+// behaviour in Fig 12/13.
+package tpcc
+
+// Scale configures the database size. The paper runs 4 warehouses (Table
+// 4) and sweeps 1-64 in Fig 13.
+type Scale struct {
+	Warehouses int
+	Districts  int // per warehouse (TPC-C: 10)
+	Customers  int // per district (TPC-C: 3000; scaled down)
+	Items      int // TPC-C: 100000; scaled down
+	// MaxOrders bounds the per-district order table (initial orders plus
+	// new orders).
+	MaxOrders int
+	// MaxLines is the order-line cap per order (TPC-C: 15).
+	MaxLines int
+}
+
+// DefaultScale returns a simulation-sized database for the given
+// warehouse count and expected transaction count.
+func DefaultScale(warehouses, txns int) Scale {
+	perDistrict := txns/(warehouses*10) + 8
+	return Scale{
+		Warehouses: warehouses,
+		Districts:  10,
+		Customers:  96,
+		Items:      512,
+		MaxOrders:  4*perDistrict + 32,
+		MaxLines:   15,
+	}
+}
+
+// Tuples are 64-byte (8-word) aligned so each lives alone on a conflict-
+// detection line; word 0 is the OCC version/lock word (unused by the
+// serial and Swarm flavors).
+const TupleWords = 8
+
+// Field word offsets within tuples.
+const (
+	FVersion = 0
+
+	// Warehouse.
+	FWTax = 1
+	FWYtd = 2
+
+	// District.
+	FDTax     = 1
+	FDYtd     = 2
+	FDNextOID = 3
+
+	// Customer.
+	FCBalance     = 1
+	FCYtdPayment  = 2
+	FCPaymentCnt  = 3
+	FCDeliveryCnt = 4
+
+	// Item.
+	FIPrice = 1
+
+	// Stock.
+	FSQty       = 1
+	FSYtd       = 2
+	FSOrderCnt  = 3
+	FSRemoteCnt = 4
+
+	// Order.
+	FOCid     = 1
+	FOOlCnt   = 2
+	FOCarrier = 3
+
+	// Order line.
+	FOLItem     = 1
+	FOLSupplyW  = 2
+	FOLQty      = 3
+	FOLAmount   = 4
+	FOLDelivery = 5
+
+	// New-order queue header.
+	FNOHead = 1
+	FNOTail = 2
+)
+
+// Layout is the database laid out in guest memory.
+type Layout struct {
+	Scale Scale
+
+	warehouse uint64
+	district  uint64
+	customer  uint64
+	item      uint64
+	stock     uint64
+	order     uint64
+	orderline uint64
+	noq       uint64
+	noring    uint64
+
+	// TxnTable is the input: transaction parameter blocks.
+	TxnTable  uint64
+	TxnStride uint64
+	NumTxns   int
+}
+
+const tupleBytes = TupleWords * 8
+
+// Pack lays out and initializes the database plus the transaction input
+// table using setup-time (untimed) primitives.
+func Pack(sc Scale, txns []Txn, alloc func(uint64) uint64, store func(addr, val uint64)) *Layout {
+	w, d, c, it := uint64(sc.Warehouses), uint64(sc.Districts), uint64(sc.Customers), uint64(sc.Items)
+	mo, ml := uint64(sc.MaxOrders), uint64(sc.MaxLines)
+	l := &Layout{Scale: sc}
+	l.warehouse = alloc(w * tupleBytes)
+	l.district = alloc(w * d * tupleBytes)
+	l.customer = alloc(w * d * c * tupleBytes)
+	l.item = alloc(it * tupleBytes)
+	l.stock = alloc(w * it * tupleBytes)
+	l.order = alloc(w * d * mo * tupleBytes)
+	l.orderline = alloc(w * d * mo * ml * tupleBytes)
+	l.noq = alloc(w * d * tupleBytes)
+	// Ring of order slots per district, one word per entry, line padded.
+	l.noring = alloc(w * d * mo * 8)
+
+	// Deterministic initial values (a fixed function of position, so the
+	// host reference can reproduce them).
+	for wi := uint64(0); wi < w; wi++ {
+		store(l.WarehouseAddr(wi)+FWTax*8, 5+wi%10) // percent
+		for di := uint64(0); di < d; di++ {
+			store(l.DistrictAddr(wi, di)+FDTax*8, 7+di%10)
+		}
+	}
+	for ii := uint64(0); ii < it; ii++ {
+		store(l.ItemAddr(ii)+FIPrice*8, 100+(ii*37)%9900) // cents
+	}
+	for wi := uint64(0); wi < w; wi++ {
+		for ii := uint64(0); ii < it; ii++ {
+			store(l.StockAddr(wi, ii)+FSQty*8, 50+(ii+wi)%50)
+		}
+	}
+
+	// Transaction input table: fixed-stride parameter blocks.
+	l.TxnStride = uint64(8 + 3*sc.MaxLines)
+	l.NumTxns = len(txns)
+	l.TxnTable = alloc(uint64(len(txns)) * l.TxnStride * 8)
+	for i, t := range txns {
+		base := l.TxnAddr(uint64(i))
+		store(base+0*8, uint64(t.Type))
+		store(base+1*8, uint64(t.W))
+		store(base+2*8, uint64(t.D))
+		store(base+3*8, uint64(t.C))
+		store(base+4*8, t.Amount)
+		store(base+5*8, uint64(t.Carrier))
+		store(base+6*8, uint64(t.Threshold))
+		store(base+7*8, uint64(len(t.Items)))
+		for j, item := range t.Items {
+			ib := base + uint64(8+3*j)*8
+			store(ib, uint64(item.ID))
+			store(ib+8, uint64(item.SupplyW))
+			store(ib+16, uint64(item.Qty))
+		}
+	}
+	return l
+}
+
+// Tuple address helpers.
+
+// WarehouseAddr returns warehouse w's tuple address.
+func (l *Layout) WarehouseAddr(w uint64) uint64 { return l.warehouse + w*tupleBytes }
+
+// DistrictAddr returns district (w, d)'s tuple address.
+func (l *Layout) DistrictAddr(w, d uint64) uint64 {
+	return l.district + (w*uint64(l.Scale.Districts)+d)*tupleBytes
+}
+
+// CustomerAddr returns customer (w, d, c)'s tuple address.
+func (l *Layout) CustomerAddr(w, d, c uint64) uint64 {
+	sc := l.Scale
+	return l.customer + ((w*uint64(sc.Districts)+d)*uint64(sc.Customers)+c)*tupleBytes
+}
+
+// ItemAddr returns item i's tuple address.
+func (l *Layout) ItemAddr(i uint64) uint64 { return l.item + i*tupleBytes }
+
+// StockAddr returns stock (w, i)'s tuple address.
+func (l *Layout) StockAddr(w, i uint64) uint64 {
+	return l.stock + (w*uint64(l.Scale.Items)+i)*tupleBytes
+}
+
+// OrderAddr returns order slot (w, d, o)'s tuple address.
+func (l *Layout) OrderAddr(w, d, o uint64) uint64 {
+	sc := l.Scale
+	return l.order + ((w*uint64(sc.Districts)+d)*uint64(sc.MaxOrders)+o)*tupleBytes
+}
+
+// OLAddr returns order line (w, d, o, line)'s tuple address.
+func (l *Layout) OLAddr(w, d, o, line uint64) uint64 {
+	sc := l.Scale
+	idx := ((w*uint64(sc.Districts)+d)*uint64(sc.MaxOrders)+o)*uint64(sc.MaxLines) + line
+	return l.orderline + idx*tupleBytes
+}
+
+// NOQAddr returns district (w, d)'s new-order queue header tuple.
+func (l *Layout) NOQAddr(w, d uint64) uint64 {
+	return l.noq + (w*uint64(l.Scale.Districts)+d)*tupleBytes
+}
+
+// NORingAddr returns the address of ring slot i of district (w, d)'s
+// new-order queue.
+func (l *Layout) NORingAddr(w, d, i uint64) uint64 {
+	sc := l.Scale
+	return l.noring + ((w*uint64(sc.Districts)+d)*uint64(sc.MaxOrders)+i%uint64(sc.MaxOrders))*8
+}
+
+// TxnAddr returns transaction i's parameter block address.
+func (l *Layout) TxnAddr(i uint64) uint64 { return l.TxnTable + i*l.TxnStride*8 }
+
+// VersionAddr maps a field address to the version/lock word of its owning
+// tuple, for OCC concurrency control. Ring-buffer slots are governed by
+// their district's new-order queue tuple (every ring access is paired with
+// a head/tail update there). Transaction-input reads are untracked
+// (read-only).
+func (l *Layout) VersionAddr(addr uint64) (uint64, bool) {
+	sc := l.Scale
+	ringEnd := l.noring + uint64(sc.Warehouses)*uint64(sc.Districts)*uint64(sc.MaxOrders)*8
+	switch {
+	case addr >= l.TxnTable:
+		return 0, false
+	case addr >= l.noring && addr < ringEnd:
+		district := (addr - l.noring) / 8 / uint64(sc.MaxOrders)
+		return l.noq + district*tupleBytes, true
+	case addr >= l.warehouse && addr < ringEnd:
+		return addr &^ 63, true
+	default:
+		return 0, false
+	}
+}

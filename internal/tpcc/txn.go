@@ -1,0 +1,91 @@
+package tpcc
+
+import "math/rand"
+
+// TxnType enumerates the five TPC-C transactions.
+type TxnType uint8
+
+const (
+	NewOrder TxnType = iota
+	Payment
+	OrderStatus
+	Delivery
+	StockLevel
+)
+
+var txnNames = [...]string{"new_order", "payment", "order_status", "delivery", "stock_level"}
+
+func (t TxnType) String() string { return txnNames[t] }
+
+// OrderItem is one line of a NewOrder transaction.
+type OrderItem struct {
+	ID      int
+	SupplyW int
+	Qty     int
+}
+
+// Txn is one transaction's parameters.
+type Txn struct {
+	Type      TxnType
+	W, D, C   int
+	Amount    uint64 // payment, cents
+	Carrier   int    // delivery
+	Threshold int    // stock level
+	Items     []OrderItem
+}
+
+// Generate produces n transactions with the standard TPC-C mix
+// (45% NewOrder, 43% Payment, 4% OrderStatus, 4% Delivery, 4% StockLevel),
+// deterministically from the seed.
+func Generate(sc Scale, n int, seed int64) []Txn {
+	rng := rand.New(rand.NewSource(seed))
+	txns := make([]Txn, n)
+	for i := range txns {
+		t := Txn{
+			W: rng.Intn(sc.Warehouses),
+			D: rng.Intn(sc.Districts),
+			C: rng.Intn(sc.Customers),
+		}
+		p := rng.Intn(100)
+		switch {
+		case p < 45:
+			t.Type = NewOrder
+			nItems := 5 + rng.Intn(11) // 5-15
+			for j := 0; j < nItems; j++ {
+				it := OrderItem{ID: rng.Intn(sc.Items), SupplyW: t.W, Qty: 1 + rng.Intn(10)}
+				// 1% remote warehouse (when possible).
+				if sc.Warehouses > 1 && rng.Intn(100) == 0 {
+					for {
+						it.SupplyW = rng.Intn(sc.Warehouses)
+						if it.SupplyW != t.W {
+							break
+						}
+					}
+				}
+				t.Items = append(t.Items, it)
+			}
+		case p < 88:
+			t.Type = Payment
+			t.Amount = uint64(100 + rng.Intn(500000)) // 1.00 - 5000.00
+		case p < 92:
+			t.Type = OrderStatus
+		case p < 96:
+			t.Type = Delivery
+			t.Carrier = 1 + rng.Intn(10)
+		default:
+			t.Type = StockLevel
+			t.Threshold = 10 + rng.Intn(11)
+		}
+		txns[i] = t
+	}
+	return txns
+}
+
+// Mix returns the per-type counts of a transaction slice.
+func Mix(txns []Txn) map[TxnType]int {
+	m := make(map[TxnType]int)
+	for _, t := range txns {
+		m[t.Type]++
+	}
+	return m
+}

@@ -1,0 +1,56 @@
+// Package vt defines unique virtual time, the total order Swarm uses for
+// conflict resolution and commits (§4.4). A unique virtual time is the
+// 128-bit tuple (programmer timestamp, dequeue cycle, tile id); the
+// (cycle, tile) pair is unique because at most one dequeue per cycle is
+// permitted per tile, so virtual times totally order all dispatched tasks.
+package vt
+
+import "fmt"
+
+// Time is a unique virtual time. The zero value sorts before every
+// dispatched task's time.
+type Time struct {
+	TS    uint64 // programmer-assigned timestamp
+	Cycle uint64 // dequeue cycle (or bound cycle for idle tasks)
+	Tile  uint32 // dispatching tile id
+}
+
+// Infinity sorts after every real virtual time.
+var Infinity = Time{TS: ^uint64(0), Cycle: ^uint64(0), Tile: ^uint32(0)}
+
+// Less reports whether t orders strictly before u.
+func (t Time) Less(u Time) bool {
+	if t.TS != u.TS {
+		return t.TS < u.TS
+	}
+	if t.Cycle != u.Cycle {
+		return t.Cycle < u.Cycle
+	}
+	return t.Tile < u.Tile
+}
+
+// LessEq reports t <= u.
+func (t Time) LessEq(u Time) bool { return !u.Less(t) }
+
+// Min returns the smaller of t and u.
+func Min(t, u Time) Time {
+	if u.Less(t) {
+		return u
+	}
+	return t
+}
+
+// Max returns the larger of t and u.
+func Max(t, u Time) Time {
+	if t.Less(u) {
+		return u
+	}
+	return t
+}
+
+func (t Time) String() string {
+	if t == Infinity {
+		return "(inf)"
+	}
+	return fmt.Sprintf("(%d,%d,%d)", t.TS, t.Cycle, t.Tile)
+}

@@ -1,0 +1,89 @@
+package vt
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestLexicographicOrder(t *testing.T) {
+	cases := []struct {
+		a, b Time
+		less bool
+	}{
+		{Time{1, 0, 0}, Time{2, 0, 0}, true},
+		{Time{1, 5, 0}, Time{1, 6, 0}, true},
+		{Time{1, 5, 1}, Time{1, 5, 2}, true},
+		{Time{2, 0, 0}, Time{1, 9, 9}, false},
+		{Time{1, 1, 1}, Time{1, 1, 1}, false},
+	}
+	for _, c := range cases {
+		if c.a.Less(c.b) != c.less {
+			t.Errorf("%v.Less(%v) = %v, want %v", c.a, c.b, !c.less, c.less)
+		}
+	}
+}
+
+// Property: Less is a strict total order (trichotomy + transitivity on
+// random triples).
+func TestTotalOrder(t *testing.T) {
+	f := func(a, b, c Time) bool {
+		// trichotomy
+		n := 0
+		if a.Less(b) {
+			n++
+		}
+		if b.Less(a) {
+			n++
+		}
+		if a == b {
+			n++
+		}
+		if n != 1 {
+			return false
+		}
+		// transitivity
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInfinity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		v := Time{rng.Uint64(), rng.Uint64(), rng.Uint32()}
+		if v != Infinity && !v.Less(Infinity) {
+			t.Fatalf("%v not < Infinity", v)
+		}
+	}
+	if Infinity.Less(Infinity) {
+		t.Fatal("Infinity < Infinity")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	a, b := Time{1, 2, 3}, Time{1, 2, 4}
+	if Min(a, b) != a || Min(b, a) != a || Max(a, b) != b || Max(b, a) != b {
+		t.Fatal("Min/Max wrong")
+	}
+}
+
+func TestSortAgreesWithLess(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ts := make([]Time, 200)
+	for i := range ts {
+		ts[i] = Time{uint64(rng.Intn(5)), uint64(rng.Intn(5)), uint32(rng.Intn(5))}
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Less(ts[j]) })
+	for i := 1; i < len(ts); i++ {
+		if ts[i].Less(ts[i-1]) {
+			t.Fatal("sorted order violates Less")
+		}
+	}
+}

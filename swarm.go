@@ -1,0 +1,132 @@
+// Package swarm is a simulator for the Swarm architecture ("A Scalable
+// Architecture for Ordered Parallelism", Jeffrey et al., MICRO-48, 2015):
+// a tiled multicore that executes programs decomposed into tiny,
+// programmer-timestamped tasks, speculatively and out of order, while
+// committing them in timestamp order.
+//
+// Programs are Go functions that operate on simulated guest memory through
+// the TaskEnv interface; every load, store and enqueue is timed by a
+// detailed model of the paper's 64-core CMP (caches, mesh NoC, hardware
+// task queues, Bloom-filter conflict detection, selective aborts, GVT
+// commits). A minimal application:
+//
+//	app := swarm.App{
+//	    Build: func(mem *swarm.Mem) ([]swarm.TaskFn, []swarm.Task) {
+//	        counter := mem.Alloc(8)
+//	        inc := func(e swarm.TaskEnv) {
+//	            e.Store(counter, e.Load(counter)+1)
+//	        }
+//	        roots := []swarm.Task{{Fn: 0, TS: 0}}
+//	        return []swarm.TaskFn{inc}, roots
+//	    },
+//	}
+//	res, err := swarm.Run(swarm.DefaultConfig(16), app)
+//
+// See the examples directory for complete programs, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for the paper reproduction.
+package swarm
+
+import (
+	"errors"
+
+	"github.com/swarm-sim/swarm/internal/core"
+	"github.com/swarm-sim/swarm/internal/guest"
+	"github.com/swarm-sim/swarm/internal/mem"
+)
+
+// Env is the architectural interface guest code runs against: loads and
+// stores of 64-bit words in simulated memory, compute cycles, and
+// task-aware allocation.
+type Env = guest.Env
+
+// TaskEnv extends Env with the Swarm task model: the task's timestamp and
+// arguments, plus enqueueTask (§4.1).
+type TaskEnv = guest.TaskEnv
+
+// TaskFn is a task body. Tasks appear to run atomically in timestamp
+// order; the hardware speculates underneath.
+type TaskFn = guest.TaskFn
+
+// Task is an architectural task descriptor: function index, 64-bit
+// timestamp, and up to three argument words.
+type Task = guest.TaskDesc
+
+// Config describes the simulated machine (Table 3 of the paper).
+type Config = core.Config
+
+// Stats reports a run's cycles, commits, aborts, queue occupancies, NoC
+// traffic and cycle breakdowns.
+type Stats = core.Stats
+
+// DefaultConfig returns the paper's machine configuration scaled to
+// nCores cores (4-core tiles, 64 task queue entries and 16 commit queue
+// entries per core, 2048-bit 8-way Bloom signatures, ...).
+func DefaultConfig(nCores int) Config { return core.DefaultConfig(nCores) }
+
+// Mem provides setup-time access to guest memory: allocation and
+// initialization before the measured execution starts.
+type Mem struct {
+	m *core.Machine
+}
+
+// Alloc reserves n bytes of guest memory (64-byte aligned) at no
+// simulated cost.
+func (m *Mem) Alloc(n uint64) uint64 { return m.m.SetupAlloc(n) }
+
+// Store initializes a 64-bit guest word at no simulated cost.
+func (m *Mem) Store(addr, val uint64) { m.m.Mem().Store(addr, val) }
+
+// Load reads a 64-bit guest word.
+func (m *Mem) Load(addr uint64) uint64 { return m.m.Mem().Load(addr) }
+
+// AllocWords reserves and zero-initializes n 64-bit words, returning the
+// base address.
+func (m *Mem) AllocWords(n uint64) uint64 { return m.Alloc(n * 8) }
+
+// App is a Swarm application: Build lays out guest memory and returns the
+// task function table plus the root tasks that seed execution.
+type App struct {
+	Build func(mem *Mem) ([]TaskFn, []Task)
+}
+
+// Result is a completed run: statistics plus read access to the final
+// guest memory for result extraction.
+type Result struct {
+	Stats Stats
+	mem   *mem.Memory
+}
+
+// Load reads a 64-bit word of the final memory state.
+func (r Result) Load(addr uint64) uint64 { return r.mem.Load(addr) }
+
+// Run executes the application on a machine with the given configuration,
+// until no tasks remain (§4.1's termination condition), and returns the
+// final state and statistics. The simulation is deterministic: the same
+// configuration and application always produce the same cycle count.
+func Run(cfg Config, app App) (Result, error) {
+	if app.Build == nil {
+		return Result{}, errors.New("swarm: App.Build is required")
+	}
+	prog := &core.Program{}
+	var machine *core.Machine
+	prog.Setup = func(m *core.Machine) {
+		fns, roots := app.Build(&Mem{m: m})
+		prog.Fns = fns
+		for _, d := range roots {
+			m.EnqueueRootDesc(d)
+		}
+	}
+	machine, err := core.NewMachine(cfg, prog)
+	if err != nil {
+		return Result{}, err
+	}
+	st, err := machine.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Stats: st, mem: machine.Mem()}, nil
+}
+
+// Unvisited is a conventional sentinel for "not yet computed" values in
+// guest data structures (all ones).
+const Unvisited = ^uint64(0)

@@ -1,0 +1,105 @@
+package swarm_test
+
+import (
+	"testing"
+
+	swarm "github.com/swarm-sim/swarm"
+)
+
+// TestPublicAPICounter exercises the public facade end to end.
+func TestPublicAPICounter(t *testing.T) {
+	var counter uint64
+	app := swarm.App{
+		Build: func(mem *swarm.Mem) ([]swarm.TaskFn, []swarm.Task) {
+			counter = mem.AllocWords(1)
+			inc := func(e swarm.TaskEnv) {
+				e.Store(counter, e.Load(counter)+1)
+			}
+			var roots []swarm.Task
+			for i := uint64(0); i < 64; i++ {
+				roots = append(roots, swarm.Task{Fn: 0, TS: i})
+			}
+			return []swarm.TaskFn{inc}, roots
+		},
+	}
+	res, err := swarm.Run(swarm.DefaultConfig(8), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Load(counter); got != 64 {
+		t.Fatalf("counter = %d, want 64", got)
+	}
+	if res.Stats.Commits != 64 {
+		t.Fatalf("commits = %d", res.Stats.Commits)
+	}
+	if res.Stats.Cycles == 0 {
+		t.Fatal("no cycles")
+	}
+}
+
+// TestPublicAPIChildren: parent-child ordering through the public API.
+func TestPublicAPIChildren(t *testing.T) {
+	var log uint64
+	app := swarm.App{
+		Build: func(mem *swarm.Mem) ([]swarm.TaskFn, []swarm.Task) {
+			log = mem.AllocWords(16)
+			fn := func(e swarm.TaskEnv) {
+				ts := e.Timestamp()
+				e.Store(log+ts*8, ts+100)
+				if ts < 15 {
+					e.Enqueue(0, ts+1)
+				}
+			}
+			return []swarm.TaskFn{fn}, []swarm.Task{{Fn: 0, TS: 0}}
+		},
+	}
+	res, err := swarm.Run(swarm.DefaultConfig(4), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 16; i++ {
+		if res.Load(log+i*8) != i+100 {
+			t.Fatalf("log[%d] wrong", i)
+		}
+	}
+}
+
+func TestPublicAPIValidation(t *testing.T) {
+	if _, err := swarm.Run(swarm.DefaultConfig(4), swarm.App{}); err == nil {
+		t.Fatal("expected error for missing Build")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	build := func() swarm.App {
+		return swarm.App{
+			Build: func(mem *swarm.Mem) ([]swarm.TaskFn, []swarm.Task) {
+				data := mem.AllocWords(64)
+				fn := func(e swarm.TaskEnv) {
+					a := e.Arg(0)
+					e.Store(data+a*8, e.Load(data+(a*7%64)*8)+1)
+					if e.Timestamp() < 100 {
+						e.Enqueue(0, e.Timestamp()+2, (a+3)%64)
+					}
+				}
+				var roots []swarm.Task
+				for i := uint64(0); i < 10; i++ {
+					roots = append(roots, swarm.Task{Fn: 0, TS: i, Args: [3]uint64{i}})
+				}
+				return []swarm.TaskFn{fn}, roots
+			},
+		}
+	}
+	r1, err := swarm.Run(swarm.DefaultConfig(8), build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := swarm.Run(swarm.DefaultConfig(8), build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats.Cycles != r2.Stats.Cycles || r1.Stats.Aborts != r2.Stats.Aborts {
+		t.Fatalf("nondeterministic public runs: %d/%d vs %d/%d cycles/aborts",
+			r1.Stats.Cycles, r1.Stats.Aborts, r2.Stats.Cycles, r2.Stats.Aborts)
+	}
+}
