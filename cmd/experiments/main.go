@@ -3,11 +3,15 @@
 // the §6.3/§6.4 sensitivity studies. See EXPERIMENTS.md for the
 // paper-vs-measured record.
 //
+// Independent simulations fan out over -workers host goroutines; results
+// on stdout are byte-identical for every worker count (progress, ETA and
+// timing lines go to stderr).
+//
 // Usage:
 //
 //	experiments                     # small scale, cores 1..16
 //	experiments -scale medium -maxcores 64
-//	experiments -only fig12,fig13
+//	experiments -only fig12,fig13 -workers 8
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -28,18 +33,13 @@ func main() {
 	maxCores := flag.Int("maxcores", 16, "largest machine (use 64 for the paper's setup)")
 	only := flag.String("only", "", "comma-separated subset: table1,table2,table4,table5,fig11-fig18,gvt,canary")
 	csvDir := flag.String("csv", "", "also write plot-ready CSV files to this directory")
+	workers := flag.Int("workers", runtime.NumCPU(), "concurrent simulations on the host (1 = sequential; results are identical)")
+	quiet := flag.Bool("quiet", false, "suppress per-task progress lines on stderr")
 	flag.Parse()
 
-	var scale harness.Scale
-	switch *scaleF {
-	case "tiny":
-		scale = harness.ScaleTiny
-	case "small":
-		scale = harness.ScaleSmall
-	case "medium":
-		scale = harness.ScaleMedium
-	default:
-		log.Fatalf("unknown scale %q", *scaleF)
+	scale, err := harness.ParseScale(*scaleF)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	want := map[string]bool{}
@@ -52,8 +52,19 @@ func main() {
 
 	out := os.Stdout
 	s := harness.NewSuite(scale)
+	s.SetWorkers(*workers)
+	if !*quiet {
+		s.SetProgress(func(done, total int, label string, eta time.Duration) {
+			if eta >= time.Second {
+				fmt.Fprintf(os.Stderr, "  [%d/%d] %s (eta %s)\n", done, total, label, eta.Round(time.Second))
+			} else {
+				fmt.Fprintf(os.Stderr, "  [%d/%d] %s\n", done, total, label)
+			}
+		})
+	}
 	coreCounts := coreSweep(*maxCores)
 	fmt.Fprintf(out, "Swarm reproduction: scale=%s, cores=%v\n", scale, coreCounts)
+	fmt.Fprintf(os.Stderr, "running with %d workers\n", s.Workers())
 
 	if enabled("table1") {
 		step(out, "Table 1: parallelism limit study", func() error {
@@ -76,12 +87,12 @@ func main() {
 		enabled("fig15") || enabled("fig16") || enabled("table4")
 	if needScaling {
 		step(out, "Fig 11/12: scaling (Swarm, serial, software-parallel)", func() error {
-			for _, b := range s.Benchmarks {
-				r, err := s.Scaling(b, coreCounts)
-				if err != nil {
-					return err
-				}
-				results = append(results, r)
+			var err error
+			results, err = s.ScalingAll(coreCounts)
+			if err != nil {
+				return err
+			}
+			for _, r := range results {
 				harness.PrintScaling(out, r)
 			}
 			if err := writeCSV(*csvDir, "scaling.csv", func(w *os.File) error {
@@ -241,11 +252,13 @@ func coreSweep(maxCores int) []int {
 	return out
 }
 
+// step prints the banner to stdout and runs fn; wall-clock timing goes to
+// stderr so stdout stays byte-identical across runs and worker counts.
 func step(out *os.File, title string, fn func() error) {
 	fmt.Fprint(out, harness.Banner(title))
 	start := time.Now()
 	if err := fn(); err != nil {
 		log.Fatalf("%s failed: %v", title, err)
 	}
-	fmt.Fprintf(out, "[%.1fs]\n", time.Since(start).Seconds())
+	fmt.Fprintf(os.Stderr, "%s: [%.1fs]\n", title, time.Since(start).Seconds())
 }

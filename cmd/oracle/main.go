@@ -7,12 +7,16 @@
 //
 //	oracle -scale small
 //	oracle -scale medium -maxtasks 200000
+//
+// Per-app analyses run concurrently (-workers); output is identical for
+// every worker count.
 package main
 
 import (
 	"flag"
 	"log"
 	"os"
+	"runtime"
 
 	"github.com/swarm-sim/swarm/internal/harness"
 )
@@ -20,20 +24,15 @@ import (
 func main() {
 	scaleF := flag.String("scale", "small", "input scale: tiny, small, medium")
 	maxTasks := flag.Int("maxtasks", 0, "bound the profiled task count (0 = all)")
+	workers := flag.Int("workers", runtime.NumCPU(), "concurrent per-app analyses on the host")
 	flag.Parse()
 
-	var scale harness.Scale
-	switch *scaleF {
-	case "tiny":
-		scale = harness.ScaleTiny
-	case "small":
-		scale = harness.ScaleSmall
-	case "medium":
-		scale = harness.ScaleMedium
-	default:
-		log.Fatalf("unknown scale %q", *scaleF)
+	scale, err := harness.ParseScale(*scaleF)
+	if err != nil {
+		log.Fatal(err)
 	}
 	suite := harness.NewSuite(scale)
+	suite.SetWorkers(*workers)
 	rows := suite.Table1(*maxTasks)
 	harness.PrintTable1(os.Stdout, rows)
 }

@@ -1,18 +1,26 @@
-// swarmsim runs one benchmark on a simulated Swarm machine and reports
-// detailed statistics.
+// swarmsim runs one or more benchmarks on a simulated Swarm machine and
+// reports detailed statistics. Multi-benchmark invocations (a comma list
+// or -app all) fan out over -workers host goroutines; per-app reports are
+// printed in the order the apps were requested, identical for every
+// worker count.
 //
 // Usage:
 //
 //	swarmsim -app sssp -cores 64 -scale small
 //	swarmsim -app silo -cores 16 -impl parallel
 //	swarmsim -app astar -cores 16 -trace 500
+//	swarmsim -app all -cores 64 -workers 8
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"runtime"
+	"strings"
 
 	"github.com/swarm-sim/swarm/internal/bench"
 	"github.com/swarm-sim/swarm/internal/core"
@@ -21,7 +29,7 @@ import (
 )
 
 func main() {
-	app := flag.String("app", "sssp", "benchmark: bfs, sssp, astar, msf, des, silo")
+	app := flag.String("app", "sssp", "benchmark: bfs, sssp, astar, msf, des, silo; a comma list; or all")
 	cores := flag.Int("cores", 64, "core count (machine scales per Table 3)")
 	impl := flag.String("impl", "swarm", "implementation: swarm, serial, parallel")
 	scaleF := flag.String("scale", "small", "input scale: tiny, small, medium")
@@ -29,88 +37,114 @@ func main() {
 	gvt := flag.Uint64("gvt", 0, "override GVT update period (cycles)")
 	trace := flag.Uint64("trace", 0, "emit a per-tile trace sample every N cycles")
 	seed := flag.Int64("seed", 1, "enqueue-placement seed")
+	workers := flag.Int("workers", runtime.NumCPU(), "concurrent simulations for multi-benchmark runs")
 	flag.Parse()
 
-	var scale harness.Scale
-	switch *scaleF {
-	case "tiny":
-		scale = harness.ScaleTiny
-	case "small":
-		scale = harness.ScaleSmall
-	case "medium":
-		scale = harness.ScaleMedium
-	default:
-		log.Fatalf("unknown scale %q", *scaleF)
+	scale, err := harness.ParseScale(*scaleF)
+	if err != nil {
+		log.Fatal(err)
 	}
 	suite := harness.NewSuite(scale)
-	var b bench.Benchmark
-	for _, cand := range suite.Benchmarks {
-		if cand.Name() == *app {
-			b = cand
+
+	var apps []bench.Benchmark
+	if *app == "all" {
+		apps = suite.Benchmarks
+	} else {
+		for _, name := range strings.Split(*app, ",") {
+			name = strings.TrimSpace(name)
+			var found bench.Benchmark
+			for _, cand := range suite.Benchmarks {
+				if cand.Name() == name {
+					found = cand
+				}
+			}
+			if found == nil {
+				log.Fatalf("unknown app %q (want bfs, sssp, astar, msf, des or silo)", name)
+			}
+			apps = append(apps, found)
 		}
-	}
-	if b == nil {
-		log.Fatalf("unknown app %q (want bfs, sssp, astar, msf, des or silo)", *app)
 	}
 
-	switch *impl {
-	case "serial":
-		cyc, err := b.RunSerial(*cores)
-		if err != nil {
-			log.Fatal(err)
+	run := func(w io.Writer, b bench.Benchmark) error {
+		switch *impl {
+		case "serial":
+			cyc, err := b.RunSerial(*cores)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%s serial on a %d-core machine: %d cycles (verified)\n", b.Name(), *cores, cyc)
+		case "parallel":
+			if !b.HasParallel() {
+				return fmt.Errorf("%s has no software-parallel version (as in the paper)", b.Name())
+			}
+			cyc, err := b.RunParallel(*cores)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%s software-parallel on %d cores: %d cycles (verified)\n", b.Name(), *cores, cyc)
+		case "swarm":
+			cfg := core.DefaultConfig(*cores)
+			cfg.Seed = *seed
+			if *cq > 0 {
+				cfg.CommitQPerCore = *cq
+			}
+			if *gvt > 0 {
+				cfg.GVTPeriod = *gvt
+			}
+			cfg.TraceInterval = *trace
+			st, err := b.RunSwarm(cfg)
+			if err != nil {
+				return err
+			}
+			printStats(w, b.Name(), st)
+			if *trace > 0 {
+				harness.PrintFig18(w, st, 40)
+			}
+		default:
+			return fmt.Errorf("unknown impl %q", *impl)
 		}
-		fmt.Printf("%s serial on a %d-core machine: %d cycles (verified)\n", *app, *cores, cyc)
-	case "parallel":
-		if !b.HasParallel() {
-			log.Fatalf("%s has no software-parallel version (as in the paper)", *app)
+		return nil
+	}
+
+	// One buffer per app: workers deposit output by index, so stdout reads
+	// in request order no matter which simulation finishes first. Errors
+	// are collected per app (never returned to the pool, which would stop
+	// a sequential run early but not a concurrent one) and reports print
+	// up to the first failure, keeping stdout identical for every worker
+	// count even when an app fails.
+	bufs := make([]bytes.Buffer, len(apps))
+	errs := make([]error, len(apps))
+	pool := harness.NewPool(*workers)
+	pool.Run(len(apps),
+		func(i int) string { return apps[i].Name() },
+		func(i int) error { errs[i] = run(&bufs[i], apps[i]); return nil })
+	for i := range bufs {
+		if errs[i] != nil {
+			log.Fatal(errs[i])
 		}
-		cyc, err := b.RunParallel(*cores)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%s software-parallel on %d cores: %d cycles (verified)\n", *app, *cores, cyc)
-	case "swarm":
-		cfg := core.DefaultConfig(*cores)
-		cfg.Seed = *seed
-		if *cq > 0 {
-			cfg.CommitQPerCore = *cq
-		}
-		if *gvt > 0 {
-			cfg.GVTPeriod = *gvt
-		}
-		cfg.TraceInterval = *trace
-		st, err := b.RunSwarm(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		printStats(*app, st)
-		if *trace > 0 {
-			harness.PrintFig18(os.Stdout, st, 40)
-		}
-	default:
-		log.Fatalf("unknown impl %q", *impl)
+		os.Stdout.Write(bufs[i].Bytes())
 	}
 }
 
-func printStats(app string, st core.Stats) {
-	fmt.Printf("%s on %d-core Swarm (verified)\n", app, st.Cores)
-	fmt.Printf("  cycles            %12d\n", st.Cycles)
-	fmt.Printf("  commits           %12d\n", st.Commits)
-	fmt.Printf("  aborts            %12d (%.1f%% of dispatches)\n", st.Aborts,
+func printStats(w io.Writer, app string, st core.Stats) {
+	fmt.Fprintf(w, "%s on %d-core Swarm (verified)\n", app, st.Cores)
+	fmt.Fprintf(w, "  cycles            %12d\n", st.Cycles)
+	fmt.Fprintf(w, "  commits           %12d\n", st.Commits)
+	fmt.Fprintf(w, "  aborts            %12d (%.1f%% of dispatches)\n", st.Aborts,
 		100*float64(st.Aborts)/float64(max64(st.Dequeues, 1)))
-	fmt.Printf("  spilled tasks     %12d\n", st.SpilledTasks)
-	fmt.Printf("  enqueue NACKs     %12d\n", st.NACKs)
+	fmt.Fprintf(w, "  spilled tasks     %12d\n", st.SpilledTasks)
+	fmt.Fprintf(w, "  enqueue NACKs     %12d\n", st.NACKs)
 	tot := float64(st.TotalCoreCycles())
-	fmt.Printf("  core cycles: %.1f%% committed, %.1f%% aborted, %.1f%% spill, %.1f%% stall\n",
+	fmt.Fprintf(w, "  core cycles: %.1f%% committed, %.1f%% aborted, %.1f%% spill, %.1f%% stall\n",
 		100*float64(st.CommittedCycles)/tot, 100*float64(st.AbortedCycles)/tot,
 		100*float64(st.SpillCycles)/tot, 100*float64(st.StallCycles)/tot)
-	fmt.Printf("  avg occupancy: task queue %.0f, commit queue %.0f\n",
+	fmt.Fprintf(w, "  avg occupancy: task queue %.0f, commit queue %.0f\n",
 		st.AvgTaskQueueOcc, st.AvgCommitQueueOcc)
-	fmt.Printf("  bloom checks      %12d (VT compares: %d)\n", st.BloomChecks, st.VTCompares)
-	fmt.Printf("  NoC GB/s per tile: mem %.2f, enqueue %.2f, abort %.2f, gvt %.2f\n",
+	fmt.Fprintf(w, "  bloom checks      %12d (VT compares: %d)\n", st.BloomChecks, st.VTCompares)
+	fmt.Fprintf(w, "  NoC GB/s per tile: mem %.2f, enqueue %.2f, abort %.2f, gvt %.2f\n",
 		st.TrafficGBps(noc.ClassMem), st.TrafficGBps(noc.ClassEnqueue),
 		st.TrafficGBps(noc.ClassAbort), st.TrafficGBps(noc.ClassGVT))
-	fmt.Printf("  cache: %d loads, %d stores, %.1f%% L1 hits, %d mem accesses\n",
+	fmt.Fprintf(w, "  cache: %d loads, %d stores, %.1f%% L1 hits, %d mem accesses\n",
 		st.Cache.Loads, st.Cache.Stores,
 		100*float64(st.Cache.L1Hits)/float64(max64(st.Cache.Loads, 1)), st.Cache.MemAccesses)
 }

@@ -1,0 +1,3 @@
+module github.com/swarm-sim/swarm
+
+go 1.24

@@ -20,6 +20,14 @@ import (
 )
 
 // Benchmark is one application in all of its flavors.
+//
+// Implementations are immutable after construction (inputs, reference
+// results) and every Run* call builds a fresh simulated machine, so a
+// Benchmark's methods are safe to call from concurrent host goroutines —
+// the experiment harness fans independent runs out over a worker pool.
+// Runs must also be deterministic: identical arguments always produce
+// identical cycle counts, which is what makes host-parallel sweeps
+// byte-identical to sequential ones.
 type Benchmark interface {
 	// Name returns the paper's benchmark name.
 	Name() string

@@ -441,6 +441,7 @@ type occEnv struct {
 	e       guest.ThreadEnv
 	l       *tpcc.Layout
 	reads   map[uint64]uint64 // version addr -> observed version
+	rOrder  []uint64          // observed version addrs, insertion order
 	writes  map[uint64]uint64 // field addr -> buffered value
 	wOrder  []uint64          // buffered write field addrs, insertion order
 	wTuples map[uint64]bool   // version addrs of written tuples
@@ -463,6 +464,7 @@ func (o *occEnv) observe(vaddr uint64) {
 		v := o.e.Load(vaddr)
 		if v&1 == 0 {
 			o.reads[vaddr] = v
+			o.rOrder = append(o.rOrder, vaddr)
 			return
 		}
 		o.e.Work(20) // writer holds the tuple lock; spin
@@ -526,9 +528,13 @@ func (o *occEnv) commit() bool {
 			}
 		}
 	}
-	// Phase 2: validate the read set.
+	// Phase 2: validate the read set in the order it was built. Iterating
+	// the reads map directly would make simulated cycle counts depend on
+	// Go's randomized map order — the validation walk must be
+	// deterministic for runs to be reproducible.
 	ok := true
-	for vaddr, seen := range o.reads {
+	for _, vaddr := range o.rOrder {
+		seen := o.reads[vaddr]
 		cur := e.Load(vaddr)
 		e.Work(2)
 		if lockedV, mine := locked[vaddr]; mine {

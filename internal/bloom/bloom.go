@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/bits"
 	"math/rand"
+	"sync"
 )
 
 // Config describes a signature implementation.
@@ -60,10 +61,18 @@ type hasher struct {
 	rows    [][]uint32
 }
 
-var hasherCache = map[[2]int]*hasher{}
+// hasherCache shares the (immutable, deterministically seeded) hash
+// matrices between filters. Machines for independent simulations may be
+// built from concurrent host goroutines, so access is mutex-guarded.
+var (
+	hasherMu    sync.Mutex
+	hasherCache = map[[2]int]*hasher{}
+)
 
 func getHasher(bitsTotal, ways int) *hasher {
 	key := [2]int{bitsTotal, ways}
+	hasherMu.Lock()
+	defer hasherMu.Unlock()
 	if h, ok := hasherCache[key]; ok {
 		return h
 	}

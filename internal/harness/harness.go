@@ -2,6 +2,12 @@
 // suite across machine sizes and configurations and produces the data
 // behind every table and figure in the evaluation (§6), formatted as the
 // same rows/series the paper reports.
+//
+// Sweeps are scheduled by a host-side worker pool (Pool): every (app,
+// cores, config) simulation is independent, so the harness fans them out
+// over goroutines and collects results by index. Output is byte-identical
+// for any worker count; shared points (serial baselines, default-config
+// runs) are computed once through deduplicating caches.
 package harness
 
 import (
@@ -28,19 +34,45 @@ func (s Scale) String() string {
 	return [...]string{"tiny", "small", "medium"}[s]
 }
 
-// Suite is the six-benchmark suite at a given scale.
+// ParseScale maps a -scale flag value to a Scale.
+func ParseScale(name string) (Scale, error) {
+	switch name {
+	case "tiny":
+		return ScaleTiny, nil
+	case "small":
+		return ScaleSmall, nil
+	case "medium":
+		return ScaleMedium, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q (want tiny, small or medium)", name)
+}
+
+// Suite is the six-benchmark suite at a given scale. Its sweep methods
+// are safe for the suite's own internal parallelism but a Suite is not
+// meant to be driven from multiple goroutines at once.
 type Suite struct {
 	Scale      Scale
 	Benchmarks []bench.Benchmark
 
-	// caches keyed by app name and cores.
-	serialCycles map[string]map[int]uint64
-	silos        map[int]*bench.Silo // by warehouse count (Fig 13)
+	pool *Pool
+
+	// Deduplicating caches shared by concurrent sweep workers.
+	serialCycles memo[appCoresKey, uint64]     // serial baselines
+	defaultRuns  memo[appCoresKey, core.Stats] // default-config Swarm runs
+	silos        memo[siloKey, *bench.Silo]    // Fig 13 inputs
 }
+
+type appCoresKey struct {
+	app   string
+	cores int
+}
+
+type siloKey struct{ warehouses, txns int }
 
 // NewSuite builds the suite. Inputs shrink with scale but keep the
 // structural properties that drive each benchmark's behaviour (deep mesh,
 // road network, skewed Kronecker graph, chained adder array, TPC-C mix).
+// The suite starts sequential; see SetWorkers.
 func NewSuite(s Scale) *Suite {
 	var bs []bench.Benchmark
 	switch s {
@@ -72,31 +104,45 @@ func NewSuite(s Scale) *Suite {
 			bench.NewSilo(4, 800, 7),
 		}
 	}
-	return &Suite{
-		Scale:        s,
-		Benchmarks:   bs,
-		serialCycles: make(map[string]map[int]uint64),
-		silos:        make(map[int]*bench.Silo),
-	}
+	return &Suite{Scale: s, Benchmarks: bs, pool: NewPool(1)}
 }
 
-// Serial returns (cached) serial cycles for an app on an nCores-sized
-// machine.
+// SetWorkers sets how many simulations the suite runs concurrently on the
+// host (n <= 0 selects runtime.NumCPU, n == 1 is strictly sequential).
+// Results are identical for every worker count.
+func (s *Suite) SetWorkers(n int) { s.pool.SetWorkers(n) }
+
+// Workers returns the suite's host-parallelism.
+func (s *Suite) Workers() int { return s.pool.Workers() }
+
+// SetProgress installs a per-task progress observer on the scheduler.
+func (s *Suite) SetProgress(fn ProgressFunc) { s.pool.SetProgress(fn) }
+
+// Serial returns serial cycles for an app on an nCores-sized machine,
+// computed at most once per (app, cores) across all concurrent workers.
 func (s *Suite) Serial(b bench.Benchmark, nCores int) (uint64, error) {
-	m, ok := s.serialCycles[b.Name()]
-	if !ok {
-		m = make(map[int]uint64)
-		s.serialCycles[b.Name()] = m
-	}
-	if c, ok := m[nCores]; ok {
-		return c, nil
-	}
-	c, err := b.RunSerial(nCores)
-	if err != nil {
-		return 0, err
-	}
-	m[nCores] = c
-	return c, nil
+	return s.serialCycles.do(appCoresKey{b.Name(), nCores}, func() (uint64, error) {
+		return b.RunSerial(nCores)
+	})
+}
+
+// defaultRun returns the Swarm run of b under the unmodified default
+// configuration, computed at most once per (app, cores): the scaling
+// series, Table 5's baseline variant and every sweep's reference point
+// all share these runs.
+func (s *Suite) defaultRun(b bench.Benchmark, nCores int) (core.Stats, error) {
+	return s.defaultRuns.do(appCoresKey{b.Name(), nCores}, func() (core.Stats, error) {
+		return b.RunSwarm(core.DefaultConfig(nCores))
+	})
+}
+
+// silo returns the Fig 13 benchmark instance for a warehouse count,
+// built at most once.
+func (s *Suite) silo(warehouses, txns int) *bench.Silo {
+	b, _ := s.silos.do(siloKey{warehouses, txns}, func() (*bench.Silo, error) {
+		return bench.NewSilo(warehouses, txns, 7), nil
+	})
+	return b
 }
 
 func gmean(vals []float64) float64 {
@@ -124,24 +170,28 @@ type Table1Row struct {
 	MaxTLS         float64
 }
 
-// Table1 runs the oracle analysis for every benchmark. maxTasks bounds the
-// profiled task count (0 = all).
+// Table1 runs the oracle analysis for every benchmark in parallel.
+// maxTasks bounds the profiled task count (0 = all).
 func (s *Suite) Table1(maxTasks int) []Table1Row {
-	rows := make([]Table1Row, 0, len(s.Benchmarks))
-	for _, b := range s.Benchmarks {
-		p := oracle.ProfileTasks(b.SwarmApp().Build, maxTasks)
-		tls := oracle.ProfileSerial(b.SerialApp().Build, maxTasks)
-		rows = append(rows, Table1Row{
-			App:            b.Name(),
-			MaxParallelism: p.MaxParallelism(),
-			Window1K:       p.WindowParallelism(1024),
-			Window64:       p.WindowParallelism(64),
-			Instrs:         p.InstrStats(),
-			Reads:          p.ReadStats(),
-			Writes:         p.WriteStats(),
-			MaxTLS:         tls.MaxParallelism(),
+	rows := make([]Table1Row, len(s.Benchmarks))
+	s.pool.Run(len(s.Benchmarks),
+		func(i int) string { return "table1 " + s.Benchmarks[i].Name() },
+		func(i int) error {
+			b := s.Benchmarks[i]
+			p := oracle.ProfileTasks(b.SwarmApp().Build, maxTasks)
+			tls := oracle.ProfileSerial(b.SerialApp().Build, maxTasks)
+			rows[i] = Table1Row{
+				App:            b.Name(),
+				MaxParallelism: p.MaxParallelism(),
+				Window1K:       p.WindowParallelism(1024),
+				Window64:       p.WindowParallelism(64),
+				Instrs:         p.InstrStats(),
+				Reads:          p.ReadStats(),
+				Writes:         p.WriteStats(),
+				MaxTLS:         tls.MaxParallelism(),
+			}
+			return nil
 		})
-	}
 	return rows
 }
 
@@ -196,30 +246,61 @@ func (r ScalingResult) ParallelVsSerial() []float64 {
 	return out
 }
 
-// Scaling runs Swarm, serial and software-parallel versions across core
-// counts (Fig 11, Fig 12, and the underlying data of Fig 14).
-func (s *Suite) Scaling(b bench.Benchmark, coreCounts []int) (ScalingResult, error) {
-	res := ScalingResult{App: b.Name()}
-	for _, nc := range coreCounts {
-		serial, err := s.Serial(b, nc)
-		if err != nil {
-			return res, fmt.Errorf("%s serial @%dc: %w", b.Name(), nc, err)
-		}
-		st, err := b.RunSwarm(core.DefaultConfig(nc))
-		if err != nil {
-			return res, fmt.Errorf("%s swarm @%dc: %w", b.Name(), nc, err)
-		}
-		pt := ScalingPoint{Cores: nc, SwarmCycles: st.Cycles, SerialCycles: serial, Stats: st}
-		if b.HasParallel() {
-			par, err := b.RunParallel(nc)
-			if err != nil {
-				return res, fmt.Errorf("%s parallel @%dc: %w", b.Name(), nc, err)
-			}
-			pt.ParallelCycles = par
-		}
-		res.Points = append(res.Points, pt)
+// scalingPoint measures one (app, cores) cell: Swarm, serial and (when it
+// exists) the software-parallel version.
+func (s *Suite) scalingPoint(b bench.Benchmark, nc int) (ScalingPoint, error) {
+	serial, err := s.Serial(b, nc)
+	if err != nil {
+		return ScalingPoint{}, fmt.Errorf("%s serial @%dc: %w", b.Name(), nc, err)
 	}
-	return res, nil
+	st, err := s.defaultRun(b, nc)
+	if err != nil {
+		return ScalingPoint{}, fmt.Errorf("%s swarm @%dc: %w", b.Name(), nc, err)
+	}
+	pt := ScalingPoint{Cores: nc, SwarmCycles: st.Cycles, SerialCycles: serial, Stats: st}
+	if b.HasParallel() {
+		par, err := b.RunParallel(nc)
+		if err != nil {
+			return ScalingPoint{}, fmt.Errorf("%s parallel @%dc: %w", b.Name(), nc, err)
+		}
+		pt.ParallelCycles = par
+	}
+	return pt, nil
+}
+
+// Scaling runs Swarm, serial and software-parallel versions across core
+// counts (Fig 11, Fig 12, and the underlying data of Fig 14), fanning the
+// points out over the pool.
+func (s *Suite) Scaling(b bench.Benchmark, coreCounts []int) (ScalingResult, error) {
+	res := ScalingResult{App: b.Name(), Points: make([]ScalingPoint, len(coreCounts))}
+	err := s.pool.Run(len(coreCounts),
+		func(i int) string { return fmt.Sprintf("%s@%dc", b.Name(), coreCounts[i]) },
+		func(i int) error {
+			pt, err := s.scalingPoint(b, coreCounts[i])
+			res.Points[i] = pt
+			return err
+		})
+	return res, err
+}
+
+// ScalingAll measures the full (benchmark x cores) grid concurrently and
+// returns one ScalingResult per benchmark, in suite order.
+func (s *Suite) ScalingAll(coreCounts []int) ([]ScalingResult, error) {
+	nb, nc := len(s.Benchmarks), len(coreCounts)
+	results := make([]ScalingResult, nb)
+	for i, b := range s.Benchmarks {
+		results[i] = ScalingResult{App: b.Name(), Points: make([]ScalingPoint, nc)}
+	}
+	err := s.pool.Run(nb*nc,
+		func(i int) string {
+			return fmt.Sprintf("%s@%dc", s.Benchmarks[i/nc].Name(), coreCounts[i%nc])
+		},
+		func(i int) error {
+			pt, err := s.scalingPoint(s.Benchmarks[i/nc], coreCounts[i%nc])
+			results[i/nc].Points[i%nc] = pt
+			return err
+		})
+	return results, err
 }
 
 // ----------------------------------------------------------------- Fig 13 --
@@ -231,34 +312,34 @@ type SiloWarehousePoint struct {
 	ParallelSpeedup float64
 }
 
-// Fig13 sweeps TPC-C warehouse counts at a fixed core count.
+// Fig13 sweeps TPC-C warehouse counts at a fixed core count, one worker
+// per warehouse count.
 func (s *Suite) Fig13(warehouses []int, cores, txns int) ([]SiloWarehousePoint, error) {
-	var out []SiloWarehousePoint
-	for _, wh := range warehouses {
-		b, ok := s.silos[wh]
-		if !ok {
-			b = bench.NewSilo(wh, txns, 7)
-			s.silos[wh] = b
-		}
-		serial, err := b.RunSerial(cores)
-		if err != nil {
-			return nil, err
-		}
-		st, err := b.RunSwarm(core.DefaultConfig(cores))
-		if err != nil {
-			return nil, err
-		}
-		par, err := b.RunParallel(cores)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, SiloWarehousePoint{
-			Warehouses:      wh,
-			SwarmSpeedup:    float64(serial) / float64(st.Cycles),
-			ParallelSpeedup: float64(serial) / float64(par),
+	out := make([]SiloWarehousePoint, len(warehouses))
+	err := s.pool.Run(len(warehouses),
+		func(i int) string { return fmt.Sprintf("silo wh=%d", warehouses[i]) },
+		func(i int) error {
+			b := s.silo(warehouses[i], txns)
+			serial, err := b.RunSerial(cores)
+			if err != nil {
+				return err
+			}
+			st, err := b.RunSwarm(core.DefaultConfig(cores))
+			if err != nil {
+				return err
+			}
+			par, err := b.RunParallel(cores)
+			if err != nil {
+				return err
+			}
+			out[i] = SiloWarehousePoint{
+				Warehouses:      warehouses[i],
+				SwarmSpeedup:    float64(serial) / float64(st.Cycles),
+				ParallelSpeedup: float64(serial) / float64(par),
+			}
+			return nil
 		})
-	}
-	return out, nil
+	return out, err
 }
 
 // ----------------------------------------------------------------- Table 5 --
@@ -272,7 +353,9 @@ type Table5Row struct {
 }
 
 // Table5 applies the paper's idealizations: unbounded queues, then a
-// zero-cycle memory system, at 1 core and at maxCores.
+// zero-cycle memory system, at 1 core and at maxCores. Every
+// (variant, benchmark) pair runs concurrently; the baseline variant
+// shares the suite's cached default-config runs.
 func (s *Suite) Table5(maxCores int) ([]Table5Row, error) {
 	type variant struct {
 		name  string
@@ -286,30 +369,48 @@ func (s *Suite) Table5(maxCores int) ([]Table5Row, error) {
 			c.Cache.ZeroLatency = true
 		}},
 	}
-	base1 := make(map[string]uint64)
+	nb := len(s.Benchmarks)
+	type pairResult struct{ cycles1, cyclesN uint64 }
+	cells := make([]pairResult, len(variants)*nb)
+	err := s.pool.Run(len(cells),
+		func(i int) string {
+			return fmt.Sprintf("table5[%s] %s", variants[i/nb].name, s.Benchmarks[i%nb].Name())
+		},
+		func(i int) error {
+			v, b := variants[i/nb], s.Benchmarks[i%nb]
+			run := func(cores int) (core.Stats, error) {
+				if i/nb == 0 {
+					// The baseline variant's tweak is a no-op: share the
+					// cached default-config runs.
+					return s.defaultRun(b, cores)
+				}
+				cfg := core.DefaultConfig(cores)
+				v.tweak(&cfg)
+				return b.RunSwarm(cfg)
+			}
+			st1, err := run(1)
+			if err != nil {
+				return fmt.Errorf("%s %s 1c: %w", b.Name(), v.name, err)
+			}
+			stN, err := run(maxCores)
+			if err != nil {
+				return fmt.Errorf("%s %s %dc: %w", b.Name(), v.name, maxCores, err)
+			}
+			cells[i] = pairResult{st1.Cycles, stN.Cycles}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]Table5Row, 0, len(variants))
 	for vi, v := range variants {
 		var sp1, spN, spSelf []float64
-		for _, b := range s.Benchmarks {
-			cfg1 := core.DefaultConfig(1)
-			v.tweak(&cfg1)
-			st1, err := b.RunSwarm(cfg1)
-			if err != nil {
-				return nil, fmt.Errorf("%s %s 1c: %w", b.Name(), v.name, err)
-			}
-			cfgN := core.DefaultConfig(maxCores)
-			v.tweak(&cfgN)
-			stN, err := b.RunSwarm(cfgN)
-			if err != nil {
-				return nil, fmt.Errorf("%s %s %dc: %w", b.Name(), v.name, maxCores, err)
-			}
-			if vi == 0 {
-				base1[b.Name()] = st1.Cycles
-			}
-			b1 := float64(base1[b.Name()])
-			sp1 = append(sp1, b1/float64(st1.Cycles))
-			spN = append(spN, b1/float64(stN.Cycles))
-			spSelf = append(spSelf, float64(st1.Cycles)/float64(stN.Cycles))
+		for bi := range s.Benchmarks {
+			c := cells[vi*nb+bi]
+			b1 := float64(cells[bi].cycles1) // variant 0 = baseline
+			sp1 = append(sp1, b1/float64(c.cycles1))
+			spN = append(spN, b1/float64(c.cyclesN))
+			spSelf = append(spSelf, float64(c.cycles1)/float64(c.cyclesN))
 		}
 		rows = append(rows, Table5Row{
 			Config:       v.name,
@@ -330,119 +431,155 @@ type SweepPoint struct {
 	Perf  []float64 // per app, relative to default config
 }
 
+// sweepVariant is one sensitivity-sweep configuration point.
+type sweepVariant struct {
+	label  string // SweepPoint label
+	errTag string // config description for error messages
+	tweak  func(*core.Config)
+}
+
+// sweep measures every (variant, benchmark) cell concurrently and reports
+// performance relative to the (cached) default configuration.
+func (s *Suite) sweep(cores int, variants []sweepVariant) ([]SweepPoint, error) {
+	nb := len(s.Benchmarks)
+	cycles := make([]uint64, len(variants)*nb)
+	// Task layout: the first nb tasks are the shared baseline runs, the
+	// rest the sweep grid; the deduplicating cache keeps baselines from
+	// being simulated twice even when another sweep already ran them.
+	err := s.pool.Run(nb+len(variants)*nb,
+		func(i int) string {
+			if i < nb {
+				return fmt.Sprintf("base %s@%dc", s.Benchmarks[i].Name(), cores)
+			}
+			i -= nb
+			return fmt.Sprintf("%s %s", variants[i/nb].errTag, s.Benchmarks[i%nb].Name())
+		},
+		func(i int) error {
+			if i < nb {
+				_, err := s.defaultRun(s.Benchmarks[i], cores)
+				return err
+			}
+			i -= nb
+			v, b := variants[i/nb], s.Benchmarks[i%nb]
+			cfg := core.DefaultConfig(cores)
+			v.tweak(&cfg)
+			st, err := b.RunSwarm(cfg)
+			if err != nil {
+				return fmt.Errorf("%s %s: %w", b.Name(), v.errTag, err)
+			}
+			cycles[i] = st.Cycles
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepPoint, len(variants))
+	for vi, v := range variants {
+		pt := SweepPoint{Label: v.label}
+		for bi, b := range s.Benchmarks {
+			base, _ := s.defaultRun(b, cores) // cached above
+			pt.Perf = append(pt.Perf, float64(base.Cycles)/float64(cycles[vi*nb+bi]))
+		}
+		out[vi] = pt
+	}
+	return out, nil
+}
+
 // CommitQueueSweep reproduces Fig 17(a): performance vs aggregate commit
 // queue entries (0 = unbounded).
 func (s *Suite) CommitQueueSweep(cores int, totals []int) ([]SweepPoint, error) {
-	base := make([]uint64, len(s.Benchmarks))
-	for i, b := range s.Benchmarks {
-		st, err := b.RunSwarm(core.DefaultConfig(cores))
-		if err != nil {
-			return nil, err
-		}
-		base[i] = st.Cycles
-	}
-	var out []SweepPoint
-	for _, tot := range totals {
-		pt := SweepPoint{Label: fmt.Sprintf("%d", tot)}
-		if tot == 0 {
-			pt.Label = "INF"
-		}
-		for i, b := range s.Benchmarks {
-			cfg := core.DefaultConfig(cores)
-			if tot == 0 {
-				// Unbounded commit queues only: emulate with a huge cap.
-				cfg.CommitQPerCore = 1 << 20
-			} else {
-				cfg.CommitQPerCore = tot / cfg.Cores()
-				if cfg.CommitQPerCore < 1 {
-					cfg.CommitQPerCore = 1
+	variants := make([]sweepVariant, len(totals))
+	for i, tot := range totals {
+		v := sweepVariant{
+			label:  fmt.Sprintf("%d", tot),
+			errTag: fmt.Sprintf("cq=%d", tot),
+			tweak: func(cfg *core.Config) {
+				if tot == 0 {
+					// Unbounded commit queues only: emulate with a huge cap.
+					cfg.CommitQPerCore = 1 << 20
+				} else {
+					cfg.CommitQPerCore = tot / cfg.Cores()
+					if cfg.CommitQPerCore < 1 {
+						cfg.CommitQPerCore = 1
+					}
 				}
-			}
-			st, err := b.RunSwarm(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s cq=%d: %w", b.Name(), tot, err)
-			}
-			pt.Perf = append(pt.Perf, float64(base[i])/float64(st.Cycles))
+			},
 		}
-		out = append(out, pt)
+		if tot == 0 {
+			v.label = "INF"
+		}
+		variants[i] = v
 	}
-	return out, nil
+	return s.sweep(cores, variants)
 }
 
 // BloomSweep reproduces Fig 17(b): performance vs signature configuration.
 func (s *Suite) BloomSweep(cores int, cfgs []bloom.Config) ([]SweepPoint, error) {
-	base := make([]uint64, len(s.Benchmarks))
-	for i, b := range s.Benchmarks {
-		st, err := b.RunSwarm(core.DefaultConfig(cores))
-		if err != nil {
-			return nil, err
+	variants := make([]sweepVariant, len(cfgs))
+	for i, bc := range cfgs {
+		variants[i] = sweepVariant{
+			label:  bc.String(),
+			errTag: fmt.Sprintf("bloom=%v", bc),
+			tweak:  func(cfg *core.Config) { cfg.Bloom = bc },
 		}
-		base[i] = st.Cycles
 	}
-	var out []SweepPoint
-	for _, bc := range cfgs {
-		pt := SweepPoint{Label: bc.String()}
-		for i, b := range s.Benchmarks {
-			cfg := core.DefaultConfig(cores)
-			cfg.Bloom = bc
-			st, err := b.RunSwarm(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s bloom=%v: %w", b.Name(), bc, err)
-			}
-			pt.Perf = append(pt.Perf, float64(base[i])/float64(st.Cycles))
-		}
-		out = append(out, pt)
-	}
-	return out, nil
+	return s.sweep(cores, variants)
 }
 
 // GVTSweep reproduces the §6.4 GVT-period sensitivity study.
 func (s *Suite) GVTSweep(cores int, periods []uint64) ([]SweepPoint, error) {
-	base := make([]uint64, len(s.Benchmarks))
-	for i, b := range s.Benchmarks {
-		st, err := b.RunSwarm(core.DefaultConfig(cores))
-		if err != nil {
-			return nil, err
+	variants := make([]sweepVariant, len(periods))
+	for i, p := range periods {
+		variants[i] = sweepVariant{
+			label:  fmt.Sprintf("%d", p),
+			errTag: fmt.Sprintf("gvt=%d", p),
+			tweak:  func(cfg *core.Config) { cfg.GVTPeriod = p },
 		}
-		base[i] = st.Cycles
 	}
-	var out []SweepPoint
-	for _, p := range periods {
-		pt := SweepPoint{Label: fmt.Sprintf("%d", p)}
-		for i, b := range s.Benchmarks {
-			cfg := core.DefaultConfig(cores)
-			cfg.GVTPeriod = p
-			st, err := b.RunSwarm(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s gvt=%d: %w", b.Name(), p, err)
-			}
-			pt.Perf = append(pt.Perf, float64(base[i])/float64(st.Cycles))
-		}
-		out = append(out, pt)
-	}
-	return out, nil
+	return s.sweep(cores, variants)
 }
 
 // CanaryStudy reproduces the §6.3 canary-precision comparison: per-line vs
-// per-set canary virtual times (global check reduction and speedup).
+// per-set canary virtual times (global check reduction and speedup), one
+// worker per benchmark.
 func (s *Suite) CanaryStudy(cores int) (checkReduction, gmeanSpeedup float64, err error) {
+	type cell struct {
+		red    float64
+		hasRed bool
+		sp     float64
+	}
+	cs := make([]cell, len(s.Benchmarks))
+	err = s.pool.Run(len(s.Benchmarks),
+		func(i int) string { return "canary " + s.Benchmarks[i].Name() },
+		func(i int) error {
+			b := s.Benchmarks[i]
+			st, err := s.defaultRun(b, cores)
+			if err != nil {
+				return err
+			}
+			cfgP := core.DefaultConfig(cores)
+			cfgP.Cache.CanaryPerLine = true
+			stP, err := b.RunSwarm(cfgP)
+			if err != nil {
+				return err
+			}
+			c := cell{sp: float64(st.Cycles) / float64(stP.Cycles)}
+			if g := float64(st.Cache.GlobalChecks); g > 0 {
+				c.red = 1 - float64(stP.Cache.GlobalChecks)/g
+				c.hasRed = true
+			}
+			cs[i] = c
+			return nil
+		})
+	if err != nil {
+		return 0, 0, err
+	}
 	var reds, sps []float64
-	for _, b := range s.Benchmarks {
-		cfg := core.DefaultConfig(cores)
-		st, err := b.RunSwarm(cfg)
-		if err != nil {
-			return 0, 0, err
+	for _, c := range cs {
+		if c.hasRed {
+			reds = append(reds, c.red)
 		}
-		cfgP := core.DefaultConfig(cores)
-		cfgP.Cache.CanaryPerLine = true
-		stP, err := b.RunSwarm(cfgP)
-		if err != nil {
-			return 0, 0, err
-		}
-		if g := float64(st.Cache.GlobalChecks); g > 0 {
-			reds = append(reds, 1-float64(stP.Cache.GlobalChecks)/g)
-		}
-		sps = append(sps, float64(st.Cycles)/float64(stP.Cycles))
+		sps = append(sps, c.sp)
 	}
 	var sum float64
 	for _, r := range reds {

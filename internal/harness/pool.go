@@ -1,0 +1,165 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool fans independent simulations out over host goroutines. Every
+// simulation is a pure function of its inputs — the sim engine is strictly
+// sequential and seeded — so running sweep points concurrently and
+// collecting results by index (never by completion order) yields output
+// byte-identical to a sequential sweep.
+type Pool struct {
+	workers  int
+	progress ProgressFunc
+}
+
+// ProgressFunc observes scheduler progress: done of total tasks have
+// finished, label names the task that just completed, and eta estimates
+// the remaining wall-clock time from the average task duration so far.
+// Calls are serialized within one Run — from worker goroutines under an
+// internal lock on the concurrent path, or from the caller's goroutine
+// on the sequential path — but carry no ordering guarantee across
+// concurrent Run invocations. It must be fast and must not call back
+// into the pool.
+type ProgressFunc func(done, total int, label string, eta time.Duration)
+
+// NewPool returns a scheduler running up to workers simulations
+// concurrently. workers <= 0 selects runtime.NumCPU().
+func NewPool(workers int) *Pool {
+	p := &Pool{}
+	p.SetWorkers(workers)
+	return p
+}
+
+// SetWorkers changes the concurrency limit. n <= 0 selects
+// runtime.NumCPU(); n == 1 runs strictly sequentially on the caller's
+// goroutine.
+func (p *Pool) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	p.workers = n
+}
+
+// Workers returns the concurrency limit.
+func (p *Pool) Workers() int { return p.workers }
+
+// SetProgress installs a progress observer (nil disables reporting).
+func (p *Pool) SetProgress(fn ProgressFunc) { p.progress = fn }
+
+// Run executes fn(0) … fn(n-1) with at most p.workers running at once and
+// waits for all of them. fn(i) must deposit its result in slot i of a
+// caller-owned slice; Run itself never communicates results, so
+// completion order cannot leak into them.
+//
+// The returned error is the lowest-index error. All n tasks run even if
+// one fails (failures are rare — verification errors — and finishing the
+// batch keeps the reported error independent of completion order); only
+// the strictly sequential workers==1 path stops at the first failure,
+// where determinism is free. label may be nil.
+func (p *Pool) Run(n int, label func(int) string, fn func(int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	name := func(i int) string {
+		if label == nil {
+			return ""
+		}
+		return label(i)
+	}
+	start := time.Now()
+	if p.workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+			p.report(i+1, n, name(i), start)
+		}
+		return nil
+	}
+
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		done int
+		errs = make([]error, n)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				err := fn(i)
+				mu.Lock()
+				errs[i] = err
+				done++
+				p.report(done, n, name(i), start)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// report invokes the progress observer with an ETA extrapolated from the
+// mean task duration so far.
+func (p *Pool) report(done, total int, label string, start time.Time) {
+	if p.progress == nil {
+		return
+	}
+	var eta time.Duration
+	if done > 0 && done < total {
+		eta = time.Since(start) / time.Duration(done) * time.Duration(total-done)
+	}
+	p.progress(done, total, label, eta)
+}
+
+// memo is a deduplicating, concurrency-safe cache: the first caller for a
+// key computes the value while later callers for the same key block on it
+// and share the result, so two workers never redundantly simulate the
+// same sweep point.
+type memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*memoEntry[V]
+}
+
+type memoEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// do returns the cached value for key, computing it with fn exactly once.
+func (c *memo[K, V]) do(key K, fn func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*memoEntry[V])
+	}
+	e, ok := c.m[key]
+	if !ok {
+		e = new(memoEntry[V])
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = fn() })
+	return e.val, e.err
+}
