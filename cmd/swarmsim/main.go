@@ -29,7 +29,8 @@ import (
 )
 
 func main() {
-	app := flag.String("app", "sssp", "benchmark: bfs, sssp, astar, msf, des, silo; a comma list; or all")
+	app := flag.String("app", "sssp",
+		"benchmark: "+strings.Join(bench.AppNames(), ", ")+"; a comma list; or all")
 	cores := flag.Int("cores", 64, "core count (machine scales per Table 3)")
 	impl := flag.String("impl", "swarm", "implementation: swarm, serial, parallel")
 	scaleF := flag.String("scale", "small", "input scale: tiny, small, medium")
@@ -44,24 +45,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	suite := harness.NewSuite(scale)
 
+	// Resolve -app against the self-registering app registry: "all" is
+	// every registered app in suite order; a name list constructs only
+	// the requested apps (input generation and host references are the
+	// startup cost, so don't pay them for apps that never run).
 	var apps []bench.Benchmark
 	if *app == "all" {
-		apps = suite.Benchmarks
+		apps = bench.NewSuite(scale)
 	} else {
 		for _, name := range strings.Split(*app, ",") {
 			name = strings.TrimSpace(name)
-			var found bench.Benchmark
-			for _, cand := range suite.Benchmarks {
-				if cand.Name() == name {
-					found = cand
-				}
+			b, err := bench.New(name, scale)
+			if err != nil {
+				log.Fatal(err)
 			}
-			if found == nil {
-				log.Fatalf("unknown app %q (want bfs, sssp, astar, msf, des or silo)", name)
-			}
-			apps = append(apps, found)
+			apps = append(apps, b)
 		}
 	}
 

@@ -1,0 +1,14 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/swarm-sim/swarm/examples/internal/extest"
+)
+
+func TestBankOutput(t *testing.T) {
+	// The example verifies conservation of money and audit-log order
+	// itself (log.Fatal on failure); assert its verdict and totals.
+	extest.ExpectOutput(t, main,
+		"money conserved (64000)", "300 audited in order", "no locks")
+}

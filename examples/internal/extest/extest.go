@@ -1,0 +1,45 @@
+// Package extest is the shared harness for the example smoke tests: it
+// runs an example's main() with stdout captured and asserts the printed
+// results, so refactors to the public swarm API cannot silently break
+// the examples.
+package extest
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// CaptureMain runs mainFn with os.Stdout redirected into a pipe and
+// returns everything it printed.
+func CaptureMain(t *testing.T, mainFn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	mainFn()
+	w.Close()
+	return <-done
+}
+
+// ExpectOutput runs mainFn and asserts that every want substring appears
+// in its output.
+func ExpectOutput(t *testing.T, mainFn func(), wants ...string) {
+	t.Helper()
+	out := CaptureMain(t, mainFn)
+	for _, want := range wants {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

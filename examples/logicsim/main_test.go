@@ -1,0 +1,14 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/swarm-sim/swarm/examples/internal/extest"
+)
+
+func TestLogicsimOutput(t *testing.T) {
+	// The ripple-carry adder must produce the right sum from the right
+	// netlist, and the event simulation must commit gate events.
+	extest.ExpectOutput(t, main,
+		"11 + 6 + 1 = 18", "69 NAND gates", "gate events committed")
+}

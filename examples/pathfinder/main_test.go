@@ -1,0 +1,15 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/swarm-sim/swarm/examples/internal/extest"
+)
+
+func TestPathfinderOutput(t *testing.T) {
+	// The example checks optimality against host-side Dijkstra itself
+	// (log.Fatal on mismatch); assert the route cost and the A* pruning
+	// signature (settles fewer nodes than the grid holds).
+	extest.ExpectOutput(t, main,
+		"optimal route cost 200", "24x24 grid", "the heuristic pruned the rest")
+}

@@ -1,0 +1,13 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/swarm-sim/swarm/examples/internal/extest"
+)
+
+func TestQuickstartOutput(t *testing.T) {
+	// Fig 1(b)'s shortest distances from A.
+	extest.ExpectOutput(t, main,
+		"A: 0", "B: 3", "C: 2", "D: 4", "E: 5", "tasks committed")
+}

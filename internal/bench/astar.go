@@ -24,6 +24,25 @@ type AStar struct {
 	ref         []uint64 // Dijkstra distances (ground truth)
 }
 
+func init() {
+	Register(AppMeta{
+		Name:        "astar",
+		Order:       2,
+		Summary:     "A* route search on a road network with coordinates",
+		HasParallel: false, // no software-parallel version, as in the paper
+		Figures:     []string{"fig18"},
+	}, func(s Scale) Benchmark {
+		switch s {
+		case ScaleTiny:
+			return NewAStar(18, 18, 4)
+		case ScaleSmall:
+			return NewAStar(40, 40, 4)
+		default:
+			return NewAStar(90, 90, 4)
+		}
+	})
+}
+
 // NewAStar builds the benchmark on a rows x cols road network, routing
 // corner to corner.
 func NewAStar(rows, cols int, seed int64) *AStar {

@@ -1,15 +1,23 @@
-// Package bench implements the paper's six benchmarks — bfs, sssp, astar,
-// msf, des and silo (§2.2, Table 4) — each in three flavors:
+// Package bench implements the ordered-parallelism benchmark suite: the
+// paper's six applications — bfs, sssp, astar, msf, des and silo (§2.2,
+// Table 4) — plus later workload additions (kcore, color, stream), each
+// in up to three flavors:
 //
 //   - a tuned serial version (the Fig 12 baseline), run in direct mode;
 //   - the state-of-the-art software-parallel version (PBFS, Bellman-Ford,
-//     PBBS-style deterministic reservations, Chandy-Misra-Bryant, Silo;
-//     astar has none, matching the paper), run on the smp machine;
+//     PBBS-style deterministic reservations, Chandy-Misra-Bryant, Silo,
+//     bucket-synchronous peeling; astar and stream have none), run on the
+//     smp machine;
 //   - the Swarm version, decomposed into tiny timestamped tasks.
 //
 // All flavors operate on the same guest-memory data structures and perform
 // the same algorithmic work (§5), and every run is verified against a
 // host-side reference before its cycle count is trusted.
+//
+// Applications self-register (see Register/Apps/NewSuite in registry.go)
+// with per-scale input sizes, flavor availability and figure membership,
+// so the harness, the CLIs and the oracle enumerate the suite without
+// hardcoded lists.
 package bench
 
 import (

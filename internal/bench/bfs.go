@@ -20,6 +20,24 @@ type BFS struct {
 	ref []uint64
 }
 
+func init() {
+	Register(AppMeta{
+		Name:        "bfs",
+		Order:       0,
+		Summary:     "breadth-first search of a deep unstructured mesh",
+		HasParallel: true,
+	}, func(s Scale) Benchmark {
+		switch s {
+		case ScaleTiny:
+			return NewBFS(40, 10)
+		case ScaleSmall:
+			return NewBFS(100, 12)
+		default:
+			return NewBFS(400, 18)
+		}
+	})
+}
+
 // NewBFS builds the benchmark on a rows x cols triangulated mesh.
 func NewBFS(rows, cols int) *BFS {
 	g := graph.TriMesh(rows, cols)

@@ -23,6 +23,24 @@ type DES struct {
 	ref  []uint64 // settled values after the final round
 }
 
+func init() {
+	Register(AppMeta{
+		Name:        "des",
+		Order:       4,
+		Summary:     "discrete-event simulation of a carry-select adder array",
+		HasParallel: true,
+	}, func(s Scale) Benchmark {
+		switch s {
+		case ScaleTiny:
+			return NewDES(3, 8, 2, 6)
+		case ScaleSmall:
+			return NewDES(6, 8, 4, 6)
+		default:
+			return NewDES(16, 8, 6, 6)
+		}
+	})
+}
+
 // NewDES builds the benchmark: nAdders carry-select adders of the given
 // width, driven for rounds input vectors.
 func NewDES(nAdders, width, rounds int, seed int64) *DES {

@@ -6,16 +6,9 @@ import (
 	"github.com/swarm-sim/swarm/internal/core"
 )
 
-// fullSuite returns one small instance of each benchmark.
+// fullSuite returns one tiny instance of every registered benchmark.
 func fullSuite() []Benchmark {
-	return []Benchmark{
-		NewBFS(40, 10),
-		NewSSSP(16, 16, 3),
-		NewAStar(18, 18, 4),
-		NewMSF(7, 8, 5),
-		NewDES(3, 8, 2, 6),
-		NewSilo(2, 60, 7),
-	}
+	return NewSuite(ScaleTiny)
 }
 
 // TestStatsAccounting: for every app, the Fig 14 cycle breakdown must
@@ -47,32 +40,9 @@ func TestStatsAccounting(t *testing.T) {
 	}
 }
 
-// TestSwarmDeterminismAcrossApps: identical configs reproduce identical
-// cycle counts for every benchmark (the simulator is a pure function).
-func TestSwarmDeterminismAcrossApps(t *testing.T) {
-	if testing.Short() {
-		t.Skip("determinism sweep")
-	}
-	for _, mk := range []func() Benchmark{
-		func() Benchmark { return NewBFS(30, 8) },
-		func() Benchmark { return NewSSSP(12, 12, 3) },
-		func() Benchmark { return NewMSF(6, 8, 5) },
-		func() Benchmark { return NewDES(2, 8, 2, 6) },
-		func() Benchmark { return NewSilo(1, 40, 7) },
-	} {
-		a, err := mk().RunSwarm(core.DefaultConfig(8))
-		if err != nil {
-			t.Fatal(err)
-		}
-		b, err := mk().RunSwarm(core.DefaultConfig(8))
-		if err != nil {
-			t.Fatal(err)
-		}
-		if a.Cycles != b.Cycles || a.Aborts != b.Aborts || a.Commits != b.Commits {
-			t.Errorf("nondeterministic run: %+v vs %+v", a.Cycles, b.Cycles)
-		}
-	}
-}
+// (Determinism across identical runs is covered for every registered app
+// by TestRegisteredAppsDeterministic in stress_test.go, which compares
+// complete core.Stats.)
 
 // TestSeedChangesPlacementNotResults: different enqueue seeds give
 // different timings but identical verified results (placement is a pure

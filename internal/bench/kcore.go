@@ -1,0 +1,365 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/swarm-sim/swarm/internal/core"
+	"github.com/swarm-sim/swarm/internal/graph"
+	"github.com/swarm-sim/swarm/internal/guest"
+	"github.com/swarm-sim/swarm/internal/smp"
+	"github.com/swarm-sim/swarm/internal/swrt"
+)
+
+// KCore computes the k-core decomposition of a Kronecker graph by peeling
+// in degree order (Matula–Beck): repeatedly remove a minimum-degree
+// vertex; its core number is the running maximum of removal degrees. The
+// peel is ordered — each removal lowers neighbor degrees and can change
+// who is removed next — which serializes software schedulers, while most
+// removals touch disjoint neighborhoods: exactly the fine-grain ordered
+// parallelism priority-ordered graph frameworks (PriorityGraph/Julienne)
+// target. The Swarm version's timestamps are peel levels; the
+// software-parallel version is bucket-synchronous peeling (all vertices
+// of the current level removed in rounds of parallel sub-steps).
+type KCore struct {
+	g      *graph.Graph
+	ref    []uint64 // reference core numbers
+	maxDeg uint64
+}
+
+func init() {
+	Register(AppMeta{
+		Name:        "kcore",
+		Order:       6,
+		Summary:     "k-core decomposition by peeling in degree order",
+		HasParallel: true,
+	}, func(s Scale) Benchmark {
+		switch s {
+		case ScaleTiny:
+			return NewKCore(7, 8, 9)
+		case ScaleSmall:
+			return NewKCore(9, 12, 9)
+		default:
+			return NewKCore(11, 16, 9)
+		}
+	})
+}
+
+// NewKCore builds the benchmark on a Kronecker graph with 2^logN nodes.
+func NewKCore(logN, avgDeg int, seed int64) *KCore {
+	n, edges := graph.Kronecker(logN, avgDeg, seed)
+	g := graph.FromEdges(n, edges, true)
+	return &KCore{g: g, ref: graph.CoreNumbers(g), maxDeg: uint64(g.MaxDegree())}
+}
+
+// Name implements Benchmark.
+func (b *KCore) Name() string { return "kcore" }
+
+// All flavors share the packed CSR graph; serial and parallel keep core
+// numbers in its Dist array (Unvisited until a vertex is peeled). Degree
+// bookkeeping is per-flavor: the serial peel's buckets carry degrees
+// internally, the Swarm version pads per-vertex state to a line, and the
+// bucket-synchronous baseline keeps a dense counter array.
+
+func (b *KCore) verify(load func(uint64) uint64, gc graph.GuestCSR) error {
+	for v := 0; v < b.g.N; v++ {
+		if got := load(gc.DistAddr(uint64(v))); got != b.ref[v] {
+			return fmt.Errorf("kcore: core[%d] = %d, want %d", v, got, b.ref[v])
+		}
+	}
+	return nil
+}
+
+// SwarmApp implements Benchmark: task = peel(v), timestamp = peel level.
+// A spawner tree seeds one task per vertex at its initial degree; peeling
+// v at level k decrements each unpeeled neighbor w and re-enqueues it at
+// max(deg(w), k) — the lazy-bucket-update rule of priority-ordered
+// peeling. The earliest task to reach an unpeeled vertex carries its core
+// number; later (stale) entries see it peeled and retire.
+func (b *KCore) SwarmApp() SwarmApp {
+	var gc graph.GuestCSR
+	var swarmCoreAddr func(uint64) uint64 // set by Build; read by Verify
+	app := SwarmApp{}
+	app.Build = func(alloc func(uint64) uint64, store func(addr, val uint64)) ([]guest.TaskFn, []guest.TaskDesc) {
+		gc = graph.Pack(b.g, alloc, store)
+		// Conflict detection is line-granular, and the peel's per-vertex
+		// state — core number, degree counter, earliest pending entry —
+		// is its entire hot set (one read-modify-write per removed edge):
+		// lay all three out on one private line per vertex so only true
+		// per-vertex dependences conflict. The pending-entry word prunes
+		// re-enqueues that could never win (lazy bucket update).
+		n := uint64(b.g.N)
+		stBase := alloc(n * 64)
+		coreAddr := func(v uint64) uint64 { return stBase + v*64 }
+		degAddr := func(v uint64) uint64 { return stBase + v*64 + 8 }
+		bestAddr := func(v uint64) uint64 { return stBase + v*64 + 16 }
+		for v := uint64(0); v < n; v++ {
+			d := uint64(b.g.Degree(int(v)))
+			store(coreAddr(v), graph.Unvisited)
+			store(degAddr(v), d)
+			store(bestAddr(v), d) // the spawner enqueues the root entry at d
+		}
+		spawner := func(e guest.TaskEnv) {
+			spawnRangeTask(e, 0, func(e guest.TaskEnv, i uint64) {
+				d := e.Load(degAddr(i))
+				e.Work(1)
+				e.Enqueue(1, d, i)
+			})
+		}
+		// decrement(i) removes arc i's edge from its target: a tiny task
+		// whose footprint is one arc word plus one vertex line, so an
+		// abort squashes a single edge removal, not a whole
+		// neighborhood. It re-enqueues the target's peel entry when the
+		// new (degree, level) priority beats every pending one.
+		decrement := func(e guest.TaskEnv) {
+			w := e.Load(gc.DstAddr(e.Arg(0)))
+			e.Work(2)
+			if e.Load(coreAddr(w)) != graph.Unvisited {
+				return // edge already removed with w
+			}
+			d := e.Load(degAddr(w)) - 1
+			e.Store(degAddr(w), d)
+			ts := d
+			k := e.Timestamp()
+			if ts < k {
+				ts = k
+			}
+			if ts < e.Load(bestAddr(w)) {
+				e.Store(bestAddr(w), ts)
+				e.Enqueue(1, ts, w)
+			}
+		}
+		// relaxArcs fans arcs [lo, hi) out as decrement tasks at the
+		// current level, seven at a time plus a continuation — Kronecker
+		// hubs have hundreds of neighbors, far past the 8-child hardware
+		// limit (§4.1), so removals chain spawner tasks at their level.
+		relaxArcs := func(e guest.TaskEnv, lo, hi uint64) {
+			end := lo + spawnFanout - 1
+			if end > hi {
+				end = hi
+			}
+			for i := lo; i < end; i++ {
+				e.Work(1)
+				e.Enqueue(3, e.Timestamp(), i)
+			}
+			if end < hi {
+				e.Enqueue(2, e.Timestamp(), end, hi)
+			}
+		}
+		peel := func(e guest.TaskEnv) {
+			v := e.Arg(0)
+			e.Work(2)
+			if e.Load(coreAddr(v)) != graph.Unvisited {
+				return // already peeled at an earlier level
+			}
+			e.Store(coreAddr(v), e.Timestamp())
+			lo := e.Load(gc.OffAddr(v))
+			hi := e.Load(gc.OffAddr(v + 1))
+			e.Work(6) // removal bookkeeping
+			if lo < hi {
+				relaxArcs(e, lo, hi)
+			}
+		}
+		relax := func(e guest.TaskEnv) {
+			relaxArcs(e, e.Arg(0), e.Arg(1))
+		}
+		swarmCoreAddr = coreAddr
+		return []guest.TaskFn{spawner, peel, relax, decrement},
+			[]guest.TaskDesc{{Fn: 0, TS: 0, Args: [3]uint64{0, uint64(b.g.N)}}}
+	}
+	app.Verify = func(load func(uint64) uint64) error {
+		for v := 0; v < b.g.N; v++ {
+			if got := load(swarmCoreAddr(uint64(v))); got != b.ref[v] {
+				return fmt.Errorf("kcore: core[%d] = %d, want %d", v, got, b.ref[v])
+			}
+		}
+		return nil
+	}
+	return app
+}
+
+// RunSwarm implements Benchmark.
+func (b *KCore) RunSwarm(cfg core.Config) (core.Stats, error) {
+	return runSwarm(b.SwarmApp(), cfg)
+}
+
+// RunSerial implements Benchmark: tuned serial Matula–Beck peeling over
+// the swrt.Buckets degree structure (O(1) decrease-key, O(n+m) total).
+func (b *KCore) RunSerial(nCores int) (uint64, error) {
+	m := smp.NewSerialMachine(smp.DefaultConfig(nCores))
+	gc := graph.Pack(b.g, m.SetupAlloc, m.Mem().Store)
+	bk := b.buckets(m.SetupAlloc, m.Mem().Store)
+	cycles := m.Run(func(e guest.Env) {
+		b.serialBody(e, gc, bk, func() {})
+	})
+	return cycles, b.verify(m.Mem().Load, gc)
+}
+
+// buckets builds the serial peel's degree-bucket scheduler.
+func (b *KCore) buckets(alloc func(uint64) uint64, store func(addr, val uint64)) swrt.Buckets {
+	bk := swrt.NewBuckets(alloc, uint64(b.g.N), b.maxDeg)
+	degs := make([]uint64, b.g.N)
+	for v := 0; v < b.g.N; v++ {
+		degs[v] = uint64(b.g.Degree(v))
+	}
+	bk.InitDirect(store, degs)
+	return bk
+}
+
+// serialBody peels vertices in current-degree order; iterMark brackets
+// the per-vertex removals for the oracle's TLS analysis.
+func (b *KCore) serialBody(e guest.Env, gc graph.GuestCSR, bk swrt.Buckets, iterMark func()) {
+	n := uint64(b.g.N)
+	k := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		iterMark()
+		v := bk.Vert(e, i)
+		d := bk.Deg(e, v)
+		e.Work(3)
+		if d > k {
+			k = d
+		}
+		e.Store(gc.DistAddr(v), k)
+		lo := e.Load(gc.OffAddr(v))
+		hi := e.Load(gc.OffAddr(v + 1))
+		for a := lo; a < hi; a++ {
+			w := e.Load(gc.DstAddr(a))
+			e.Work(1)
+			if e.Load(gc.DistAddr(w)) != graph.Unvisited {
+				continue
+			}
+			if bk.Deg(e, w) > d {
+				bk.DecreaseKey(e, w)
+			}
+		}
+	}
+}
+
+// SerialApp implements Benchmark.
+func (b *KCore) SerialApp() SerialApp {
+	return SerialApp{Build: func(alloc func(uint64) uint64, store func(addr, val uint64)) func(guest.Env, func()) {
+		gc := graph.Pack(b.g, alloc, store)
+		bk := b.buckets(alloc, store)
+		return func(e guest.Env, mark func()) { b.serialBody(e, gc, bk, mark) }
+	}}
+}
+
+// HasParallel implements Benchmark.
+func (b *KCore) HasParallel() bool { return true }
+
+// RunParallel implements Benchmark: bucket-synchronous peeling (the
+// Julienne-style software-parallel baseline). Levels k = 0, 1, ... are
+// processed in order; the vertex range is scanned once per level to seed
+// that level's frontier, and from there sub-rounds are neighbor-driven:
+// an atomic degree decrement whose old value is exactly k+1 has just
+// dropped its vertex into the current bucket, so the decrementing thread
+// peels it and appends it for the next sub-round, with a barrier between
+// sub-rounds. Parallelism is still limited to one level's frontier at a
+// time — the peel analogue of level-synchronous PBFS (§6.2) — but no
+// work beyond the per-level scan is proportional to n.
+func (b *KCore) RunParallel(nCores int) (uint64, error) {
+	m := smp.NewMachine(smp.DefaultConfig(nCores))
+	gc := graph.Pack(b.g, m.SetupAlloc, m.Mem().Store)
+	n := uint64(b.g.N)
+	deg := swrt.NewArray(m.SetupAlloc, n) // current degrees, atomically decremented
+	for v := uint64(0); v < n; v++ {
+		m.Mem().Store(deg.Addr(v), uint64(b.g.Degree(int(v))))
+	}
+	// Every vertex is peeled (appended) exactly once, so one n-entry
+	// array holds the whole peel order; sub-rounds are segments of it.
+	frontier := swrt.NewArray(m.SetupAlloc, n)
+	// Control block: [k, tail, scanIdx, procIdx, roundStart, roundEnd,
+	// scanNeeded].
+	ctl := m.SetupAlloc(64)
+	m.Mem().Store(ctl+48, 1) // first level needs a seeding scan
+	bar := swrt.NewBarrier(m.SetupAlloc, uint64(nCores))
+
+	const scanChunk, procChunk = 32, 4
+	st, err := m.Run(func(e guest.ThreadEnv) {
+		var sense uint64
+		for {
+			k := e.Load(ctl)
+			if e.Load(ctl+48) != 0 {
+				// Seed: scan the vertex range once per level for
+				// unpeeled deg <= k.
+				for {
+					s := e.FetchAdd(ctl+16, scanChunk)
+					if s >= n {
+						break
+					}
+					top := s + scanChunk
+					if top > n {
+						top = n
+					}
+					for v := s; v < top; v++ {
+						e.Work(1)
+						if e.Load(gc.DistAddr(v)) != graph.Unvisited {
+							continue
+						}
+						if e.Load(deg.Addr(v)) <= k {
+							e.Store(gc.DistAddr(v), k)
+							slot := e.FetchAdd(ctl+8, 1)
+							e.Store(frontier.Addr(slot), v)
+						}
+					}
+				}
+			}
+			bar.Wait(e, &sense)
+			if e.ID() == 0 {
+				e.Store(ctl+40, e.Load(ctl+8))  // freeze this sub-round's end
+				e.Store(ctl+24, e.Load(ctl+32)) // reset claim cursor to its start
+			}
+			bar.Wait(e, &sense)
+			end := e.Load(ctl + 40)
+			// Remove: decrement unpeeled neighbors of this sub-round's
+			// segment; a decrement from k+1 discovers a newly eligible
+			// vertex and appends it past end for the next sub-round.
+			for {
+				s := e.FetchAdd(ctl+24, procChunk)
+				if s >= end {
+					break
+				}
+				top := s + procChunk
+				if top > end {
+					top = end
+				}
+				for ; s < top; s++ {
+					v := e.Load(frontier.Addr(s))
+					lo := e.Load(gc.OffAddr(v))
+					hi := e.Load(gc.OffAddr(v + 1))
+					e.Work(2)
+					for a := lo; a < hi; a++ {
+						w := e.Load(gc.DstAddr(a))
+						e.Work(1)
+						if e.Load(gc.DistAddr(w)) != graph.Unvisited {
+							continue
+						}
+						if old := e.FetchAdd(deg.Addr(w), ^uint64(0)); old == k+1 {
+							e.Store(gc.DistAddr(w), k)
+							slot := e.FetchAdd(ctl+8, 1)
+							e.Store(frontier.Addr(slot), w)
+						}
+					}
+				}
+			}
+			bar.Wait(e, &sense)
+			if e.ID() == 0 {
+				if e.Load(ctl+8) == end { // no discoveries: level exhausted
+					e.Store(ctl, k+1)
+					e.Store(ctl+16, 0)
+					e.Store(ctl+48, 1)
+				} else {
+					e.Store(ctl+48, 0)
+				}
+				e.Store(ctl+32, end) // next sub-round starts where this ended
+			}
+			bar.Wait(e, &sense)
+			if e.Load(ctl+8) == n {
+				return
+			}
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return st.Cycles, b.verify(m.Mem().Load, gc)
+}

@@ -22,6 +22,24 @@ type MSF struct {
 	ref   uint64 // reference forest weight
 }
 
+func init() {
+	Register(AppMeta{
+		Name:        "msf",
+		Order:       3,
+		Summary:     "Kruskal minimum spanning forest on a Kronecker graph",
+		HasParallel: true,
+	}, func(s Scale) Benchmark {
+		switch s {
+		case ScaleTiny:
+			return NewMSF(7, 16, 5)
+		case ScaleSmall:
+			return NewMSF(9, 16, 5)
+		default:
+			return NewMSF(10, 24, 5)
+		}
+	})
+}
+
 // NewMSF builds the benchmark on a Kronecker graph with 2^logN nodes.
 func NewMSF(logN, avgDeg int, seed int64) *MSF {
 	n, edges := graph.Kronecker(logN, avgDeg, seed)

@@ -22,6 +22,25 @@ type Silo struct {
 	txns []tpcc.Txn
 }
 
+func init() {
+	Register(AppMeta{
+		Name:        "silo",
+		Order:       5,
+		Summary:     "in-memory TPC-C transactions (silo-style OCC baseline)",
+		HasParallel: true,
+		Figures:     []string{"fig13"},
+	}, func(s Scale) Benchmark {
+		switch s {
+		case ScaleTiny:
+			return NewSilo(2, 60, 7)
+		case ScaleSmall:
+			return NewSilo(4, 200, 7)
+		default:
+			return NewSilo(4, 800, 7)
+		}
+	})
+}
+
 // NewSilo builds the benchmark with the given warehouse count and
 // transaction count.
 func NewSilo(warehouses, txns int, seed int64) *Silo {

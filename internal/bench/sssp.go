@@ -20,6 +20,24 @@ type SSSP struct {
 	ref []uint64
 }
 
+func init() {
+	Register(AppMeta{
+		Name:        "sssp",
+		Order:       1,
+		Summary:     "Dijkstra single-source shortest paths on a road network",
+		HasParallel: true,
+	}, func(s Scale) Benchmark {
+		switch s {
+		case ScaleTiny:
+			return NewSSSP(16, 16, 3)
+		case ScaleSmall:
+			return NewSSSP(36, 36, 3)
+		default:
+			return NewSSSP(80, 80, 3)
+		}
+	})
+}
+
 // NewSSSP builds the benchmark on a rows x cols road network.
 func NewSSSP(rows, cols int, seed int64) *SSSP {
 	g := graph.RoadNet(rows, cols, seed)

@@ -158,6 +158,61 @@ func (f *Filter) MayContain(line uint64) bool {
 	return true
 }
 
+// Union ORs other's set into f (hardware: a wired-OR over the two
+// signatures). Both filters must share a configuration. The union
+// over-approximates the exact set union: anything either filter may
+// contain, the union may contain — the invariant FuzzFilter checks.
+func (f *Filter) Union(other *Filter) {
+	if f.cfg != other.cfg {
+		panic(fmt.Sprintf("bloom: Union across configs %v and %v", f.cfg, other.cfg))
+	}
+	f.count += other.count
+	if f.precise != nil {
+		for l := range other.precise {
+			f.precise[l] = struct{}{}
+		}
+		return
+	}
+	for w := range f.ways {
+		for i := range f.ways[w] {
+			f.ways[w][i] |= other.ways[w][i]
+		}
+	}
+}
+
+// Intersects reports whether the two sets may intersect (hardware: a
+// wired-AND then a per-way zero check, Fig 6). False positives are
+// possible (unless Precise); false negatives are not: if any address was
+// inserted into both filters, it set the same bits in both, so every
+// way's intersection is non-empty.
+func (f *Filter) Intersects(other *Filter) bool {
+	if f.cfg != other.cfg {
+		panic(fmt.Sprintf("bloom: Intersects across configs %v and %v", f.cfg, other.cfg))
+	}
+	if f.precise != nil {
+		a, b := f.precise, other.precise
+		if len(b) < len(a) {
+			a, b = b, a
+		}
+		for l := range a {
+			if _, ok := b[l]; ok {
+				return true
+			}
+		}
+		return false
+	}
+	for w := range f.ways {
+		hit := uint64(0)
+		for i := range f.ways[w] {
+			hit |= f.ways[w][i] & other.ways[w][i]
+		}
+		if hit == 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Clear empties the signature (a flash-clear in hardware).
 func (f *Filter) Clear() {
 	f.count = 0

@@ -1,0 +1,98 @@
+package bloom
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzFilter fuzzes the signature invariants conflict detection is built
+// on (§4.3): no inserted address may ever be reported absent, signature
+// union must over-approximate exact set union, and signature intersection
+// must over-approximate exact read/write-set overlap — a false negative
+// in any of them would let a true conflict commit undetected. The fuzzer
+// drives every configuration (three Bloom geometries plus Precise) from
+// one raw input split into two line sets.
+func FuzzFilter(f *testing.F) {
+	f.Add([]byte{0}, []byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, []byte{9, 8, 7, 6, 5, 4, 3, 2, 1})
+	f.Add([]byte{0xff, 0, 0, 0, 0, 0, 0, 0, 1}, []byte{0xff})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		linesA := decodeLines(rawA)
+		linesB := decodeLines(rawB)
+		for _, cfg := range configs() {
+			fa, fb := NewFilter(cfg), NewFilter(cfg)
+			for _, l := range linesA {
+				fa.Insert(l)
+			}
+			for _, l := range linesB {
+				fb.Insert(l)
+			}
+			// No false negatives on membership.
+			for _, l := range linesA {
+				if !fa.MayContain(l) {
+					t.Fatalf("%v: inserted line %#x reported absent", cfg, l)
+				}
+			}
+			// Union over-approximates exact set union.
+			u := NewFilter(cfg)
+			u.Union(fa)
+			u.Union(fb)
+			for _, l := range append(append([]uint64(nil), linesA...), linesB...) {
+				if !u.MayContain(l) {
+					t.Fatalf("%v: union lost line %#x", cfg, l)
+				}
+			}
+			// Intersection over-approximates exact overlap: exact overlap
+			// must imply a reported (possible) intersection.
+			exact := exactOverlap(linesA, linesB)
+			if exact && !fa.Intersects(fb) {
+				t.Fatalf("%v: overlapping sets reported disjoint", cfg)
+			}
+			if cfg.Precise && fa.Intersects(fb) != exact {
+				t.Fatalf("precise: Intersects = %v, exact overlap = %v", !exact, exact)
+			}
+			if !fa.Empty() && !fa.Intersects(fa) {
+				t.Fatalf("%v: non-empty signature disjoint from itself", cfg)
+			}
+		}
+	})
+}
+
+// decodeLines packs fuzzer bytes into line addresses (8 bytes each, the
+// ragged tail zero-padded). A one-byte input already yields one line, so
+// the fuzzer reaches interesting set shapes quickly.
+func decodeLines(raw []byte) []uint64 {
+	var lines []uint64
+	for i := 0; i < len(raw); i += 8 {
+		var buf [8]byte
+		copy(buf[:], raw[i:])
+		lines = append(lines, binary.LittleEndian.Uint64(buf[:]))
+	}
+	return lines
+}
+
+func exactOverlap(a, b []uint64) bool {
+	set := make(map[uint64]struct{}, len(a))
+	for _, l := range a {
+		set[l] = struct{}{}
+	}
+	for _, l := range b {
+		if _, ok := set[l]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TestUnionIntersectsAcrossConfigsPanics: mixing signature geometries is
+// a programming error the filter must catch loudly.
+func TestUnionIntersectsAcrossConfigsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Union across configs should panic")
+		}
+	}()
+	a := NewFilter(Config{Bits: 256, Ways: 4})
+	b := NewFilter(Config{Bits: 2048, Ways: 8})
+	a.Union(b)
+}

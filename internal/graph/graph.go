@@ -397,3 +397,67 @@ func MSFWeight(n int, edges []Edge) uint64 {
 	}
 	return total
 }
+
+// CoreNumbers returns each node's core number (reference Matula–Beck
+// bucket peeling: repeatedly remove a minimum-degree node; a node's core
+// is the running maximum of the degrees at removal). The graph must be
+// undirected (both arc directions present).
+func CoreNumbers(g *Graph) []uint64 {
+	n := g.N
+	deg := make([]uint64, n)
+	maxDeg := uint64(0)
+	for v := 0; v < n; v++ {
+		deg[v] = uint64(g.Degree(v))
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Bucket-sort nodes by degree.
+	bin := make([]uint64, maxDeg+2)
+	for _, d := range deg {
+		bin[d+1]++
+	}
+	for d := uint64(1); d < maxDeg+2; d++ {
+		bin[d] += bin[d-1]
+	}
+	vert := make([]uint64, n)
+	pos := make([]uint64, n)
+	cursor := append([]uint64(nil), bin...)
+	for v := 0; v < n; v++ {
+		i := cursor[deg[v]]
+		cursor[deg[v]]++
+		vert[i] = uint64(v)
+		pos[uint64(v)] = i
+	}
+	core := make([]uint64, n)
+	removed := make([]bool, n)
+	k := uint64(0)
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		if deg[v] > k {
+			k = deg[v]
+		}
+		core[v] = k
+		removed[v] = true
+		lo, hi := g.Neighbors(int(v))
+		for a := lo; a < hi; a++ {
+			w := uint64(g.Dst[a])
+			if removed[w] || deg[w] <= deg[v] {
+				continue
+			}
+			// O(1) decrease-key: swap w with the first node of its
+			// bucket and advance the bucket boundary.
+			dw := deg[w]
+			pw := pos[w]
+			start := bin[dw]
+			u := vert[start]
+			if u != w {
+				vert[pw], vert[start] = u, w
+				pos[u], pos[w] = pw, start
+			}
+			bin[dw] = start + 1
+			deg[w] = dw - 1
+		}
+	}
+	return core
+}

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"github.com/swarm-sim/swarm/internal/bench"
 )
 
 func TestCSVExports(t *testing.T) {
@@ -59,7 +61,7 @@ func TestCSVExports(t *testing.T) {
 	if err := WriteTable1CSV(&buf, s.Table1(200)); err != nil {
 		t.Fatal(err)
 	}
-	if len(strings.Split(strings.TrimSpace(buf.String()), "\n")) != 7 {
-		t.Fatal("table1 csv should have header + 6 apps")
+	if got, want := len(strings.Split(strings.TrimSpace(buf.String()), "\n")), 1+len(bench.AppNames()); got != want {
+		t.Fatalf("table1 csv has %d rows, want header + %d registered apps", got, want-1)
 	}
 }

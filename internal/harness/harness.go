@@ -20,36 +20,23 @@ import (
 	"github.com/swarm-sim/swarm/internal/oracle"
 )
 
-// Scale selects input sizes: Tiny for unit tests, Small for the bench
-// harness, Medium for cmd/experiments runs (minutes).
-type Scale int
+// Scale selects input sizes; it now lives in bench next to the app
+// registry (each registered app maps a Scale to input parameters).
+type Scale = bench.Scale
 
 const (
-	ScaleTiny Scale = iota
-	ScaleSmall
-	ScaleMedium
+	ScaleTiny   = bench.ScaleTiny
+	ScaleSmall  = bench.ScaleSmall
+	ScaleMedium = bench.ScaleMedium
 )
 
-func (s Scale) String() string {
-	return [...]string{"tiny", "small", "medium"}[s]
-}
-
 // ParseScale maps a -scale flag value to a Scale.
-func ParseScale(name string) (Scale, error) {
-	switch name {
-	case "tiny":
-		return ScaleTiny, nil
-	case "small":
-		return ScaleSmall, nil
-	case "medium":
-		return ScaleMedium, nil
-	}
-	return 0, fmt.Errorf("unknown scale %q (want tiny, small or medium)", name)
-}
+func ParseScale(name string) (Scale, error) { return bench.ParseScale(name) }
 
-// Suite is the six-benchmark suite at a given scale. Its sweep methods
-// are safe for the suite's own internal parallelism but a Suite is not
-// meant to be driven from multiple goroutines at once.
+// Suite is every registered benchmark at a given scale, in registry
+// order. Its sweep methods are safe for the suite's own internal
+// parallelism but a Suite is not meant to be driven from multiple
+// goroutines at once.
 type Suite struct {
 	Scale      Scale
 	Benchmarks []bench.Benchmark
@@ -69,42 +56,12 @@ type appCoresKey struct {
 
 type siloKey struct{ warehouses, txns int }
 
-// NewSuite builds the suite. Inputs shrink with scale but keep the
-// structural properties that drive each benchmark's behaviour (deep mesh,
-// road network, skewed Kronecker graph, chained adder array, TPC-C mix).
+// NewSuite builds the suite by enumerating the bench registry: every
+// registered app, constructed at the given scale, in registry order. New
+// apps appear in every sweep, table and CSV without touching the harness.
 // The suite starts sequential; see SetWorkers.
 func NewSuite(s Scale) *Suite {
-	var bs []bench.Benchmark
-	switch s {
-	case ScaleTiny:
-		bs = []bench.Benchmark{
-			bench.NewBFS(40, 10),
-			bench.NewSSSP(16, 16, 3),
-			bench.NewAStar(18, 18, 4),
-			bench.NewMSF(7, 16, 5),
-			bench.NewDES(3, 8, 2, 6),
-			bench.NewSilo(2, 60, 7),
-		}
-	case ScaleSmall:
-		bs = []bench.Benchmark{
-			bench.NewBFS(100, 12),
-			bench.NewSSSP(36, 36, 3),
-			bench.NewAStar(40, 40, 4),
-			bench.NewMSF(9, 16, 5),
-			bench.NewDES(6, 8, 4, 6),
-			bench.NewSilo(4, 200, 7),
-		}
-	default: // ScaleMedium
-		bs = []bench.Benchmark{
-			bench.NewBFS(400, 18),
-			bench.NewSSSP(80, 80, 3),
-			bench.NewAStar(90, 90, 4),
-			bench.NewMSF(10, 24, 5),
-			bench.NewDES(16, 8, 6, 6),
-			bench.NewSilo(4, 800, 7),
-		}
-	}
-	return &Suite{Scale: s, Benchmarks: bs, pool: NewPool(1)}
+	return &Suite{Scale: s, Benchmarks: bench.NewSuite(s), pool: NewPool(1)}
 }
 
 // SetWorkers sets how many simulations the suite runs concurrently on the
@@ -313,8 +270,19 @@ type SiloWarehousePoint struct {
 }
 
 // Fig13 sweeps TPC-C warehouse counts at a fixed core count, one worker
-// per warehouse count.
+// per warehouse count. The swept app is located via its "fig13" registry
+// tag; the warehouse knob is silo-specific, so a retag fails loudly here
+// instead of silently sweeping the wrong app.
 func (s *Suite) Fig13(warehouses []int, cores, txns int) ([]SiloWarehousePoint, error) {
+	var tagged []string
+	for _, meta := range bench.Apps() {
+		if meta.InFigure("fig13") {
+			tagged = append(tagged, meta.Name)
+		}
+	}
+	if len(tagged) != 1 || tagged[0] != "silo" {
+		return nil, fmt.Errorf("fig13: registry tags %v, but the warehouse sweep is silo-specific", tagged)
+	}
 	out := make([]SiloWarehousePoint, len(warehouses))
 	err := s.pool.Run(len(warehouses),
 		func(i int) string { return fmt.Sprintf("silo wh=%d", warehouses[i]) },
@@ -588,16 +556,20 @@ func (s *Suite) CanaryStudy(cores int) (checkReduction, gmeanSpeedup float64, er
 	return sum / float64(len(reds)), gmean(sps), nil
 }
 
-// Fig18 runs the astar case study with a per-tile tracer on a 16-core,
-// 4-tile machine (500-cycle samples).
+// Fig18 runs the Fig 18 case study (the app tagged "fig18" in the
+// registry — astar) with a per-tile tracer on a 16-core, 4-tile machine
+// (500-cycle samples).
 func (s *Suite) Fig18() (core.Stats, error) {
-	var astar bench.Benchmark
+	var tagged []bench.Benchmark
 	for _, b := range s.Benchmarks {
-		if b.Name() == "astar" {
-			astar = b
+		if meta, ok := bench.Lookup(b.Name()); ok && meta.InFigure("fig18") {
+			tagged = append(tagged, b)
 		}
+	}
+	if len(tagged) != 1 {
+		return core.Stats{}, fmt.Errorf("fig18: want exactly one app tagged \"fig18\", have %d", len(tagged))
 	}
 	cfg := core.DefaultConfig(16)
 	cfg.TraceInterval = 500
-	return astar.RunSwarm(cfg)
+	return tagged[0].RunSwarm(cfg)
 }

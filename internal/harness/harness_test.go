@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/swarm-sim/swarm/internal/bench"
 	"github.com/swarm-sim/swarm/internal/bloom"
 	"github.com/swarm-sim/swarm/internal/core"
 )
@@ -14,13 +15,13 @@ func tinySuite() *Suite { return NewSuite(ScaleTiny) }
 func TestTable1Runs(t *testing.T) {
 	s := tinySuite()
 	rows := s.Table1(0)
-	if len(rows) != 6 {
-		t.Fatalf("rows = %d", len(rows))
+	if len(rows) != len(bench.AppNames()) {
+		t.Fatalf("rows = %d, want one per registered app (%d)", len(rows), len(bench.AppNames()))
 	}
 	var buf bytes.Buffer
 	PrintTable1(&buf, rows)
 	out := buf.String()
-	for _, app := range []string{"bfs", "sssp", "astar", "msf", "des", "silo"} {
+	for _, app := range bench.AppNames() {
 		if !strings.Contains(out, app) {
 			t.Fatalf("table missing %s:\n%s", app, out)
 		}

@@ -1,0 +1,79 @@
+package swrt
+
+import "github.com/swarm-sim/swarm/internal/guest"
+
+// Buckets is the Matula–Beck degree-bucket structure for serial k-core
+// peeling, laid out in guest memory so its pointer chasing is physically
+// modeled: vert holds the vertices sorted by current degree, pos is each
+// vertex's index into vert, bin[d] is the start of degree-d's bucket, and
+// deg is each vertex's current degree. DecreaseKey is O(1): it swaps the
+// vertex with the first element of its bucket and advances the bucket
+// boundary. This is the tuned serial scheduler kcore peels with — the
+// analogue of sssp's binary heap and bfs's FIFO (§3): efficient, but its
+// strict degree order serializes the peel.
+type Buckets struct {
+	n    uint64
+	vert Array // vertices in nondecreasing current-degree order
+	pos  Array // pos[v]: index of v in vert
+	deg  Array // deg[v]: current degree
+	bin  Array // bin[d]: start index of degree-d's bucket in vert
+}
+
+// NewBuckets allocates the structure for n vertices with degrees in
+// [0, maxDeg] (setup-time).
+func NewBuckets(alloc func(uint64) uint64, n, maxDeg uint64) Buckets {
+	return Buckets{
+		n:    n,
+		vert: NewArray(alloc, n),
+		pos:  NewArray(alloc, n),
+		deg:  NewArray(alloc, n),
+		bin:  NewArray(alloc, maxDeg+2),
+	}
+}
+
+// InitDirect bucket-sorts the initial degrees, bypassing timing (setup).
+func (b Buckets) InitDirect(store func(addr, val uint64), degs []uint64) {
+	maxDeg := b.bin.N - 2
+	counts := make([]uint64, maxDeg+2)
+	for _, d := range degs {
+		counts[d+1]++
+	}
+	for d := uint64(1); d < maxDeg+2; d++ {
+		counts[d] += counts[d-1]
+	}
+	for d := uint64(0); d < maxDeg+2; d++ {
+		store(b.bin.Addr(d), counts[d])
+	}
+	cursor := append([]uint64(nil), counts...)
+	for v, d := range degs {
+		i := cursor[d]
+		cursor[d]++
+		store(b.vert.Addr(i), uint64(v))
+		store(b.pos.Addr(uint64(v)), i)
+		store(b.deg.Addr(uint64(v)), d)
+	}
+}
+
+// Vert loads the i-th vertex in current-degree order.
+func (b Buckets) Vert(e guest.Env, i uint64) uint64 { return b.vert.Get(e, i) }
+
+// Deg loads v's current degree.
+func (b Buckets) Deg(e guest.Env, v uint64) uint64 { return b.deg.Get(e, v) }
+
+// DecreaseKey decrements w's degree, keeping vert sorted: w swaps with
+// the first vertex of its bucket and the bucket boundary advances past it.
+func (b Buckets) DecreaseKey(e guest.Env, w uint64) {
+	dw := b.deg.Get(e, w)
+	pw := b.pos.Get(e, w)
+	start := b.bin.Get(e, dw)
+	u := b.vert.Get(e, start)
+	e.Work(3)
+	if u != w {
+		b.vert.Set(e, pw, u)
+		b.vert.Set(e, start, w)
+		b.pos.Set(e, u, pw)
+		b.pos.Set(e, w, start)
+	}
+	b.bin.Set(e, dw, start+1)
+	b.deg.Set(e, w, dw-1)
+}

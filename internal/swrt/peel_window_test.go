@@ -1,0 +1,110 @@
+package swrt
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/swarm-sim/swarm/internal/guest"
+)
+
+// TestBucketsPeelOrder: repeatedly decreasing random keys must keep vert
+// sorted by current degree and the bucket boundaries consistent — the
+// invariants Matula–Beck peeling relies on.
+func TestBucketsPeelOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n, maxDeg = 64, 16
+	m := serialEnv()
+	degs := make([]uint64, n)
+	for v := range degs {
+		degs[v] = uint64(rng.Intn(maxDeg + 1))
+	}
+	b := NewBuckets(m.SetupAlloc, n, maxDeg)
+	b.InitDirect(m.Mem().Store, degs)
+	shadow := append([]uint64(nil), degs...)
+	m.Run(func(e guest.Env) {
+		check := func() {
+			// vert must enumerate every vertex once, in nondecreasing
+			// current-degree order, with pos as its inverse.
+			seen := make(map[uint64]bool, n)
+			prev := uint64(0)
+			for i := uint64(0); i < n; i++ {
+				v := b.Vert(e, i)
+				if seen[v] {
+					t.Fatalf("vertex %d appears twice in vert", v)
+				}
+				seen[v] = true
+				if p := b.pos.Get(e, v); p != i {
+					t.Fatalf("pos[%d] = %d, want %d", v, p, i)
+				}
+				d := b.Deg(e, v)
+				if d != shadow[v] {
+					t.Fatalf("deg[%d] = %d, shadow %d", v, d, shadow[v])
+				}
+				if d < prev {
+					t.Fatalf("vert not sorted at index %d", i)
+				}
+				prev = d
+			}
+		}
+		check()
+		for step := 0; step < 400; step++ {
+			w := uint64(rng.Intn(n))
+			if shadow[w] == 0 {
+				continue
+			}
+			b.DecreaseKey(e, w)
+			shadow[w]--
+		}
+		check()
+	})
+}
+
+// TestWindowRingAccumulate: Add/Drain must behave like a per-(slot, key)
+// counter matrix, with Drain zeroing exactly one cell.
+func TestWindowRingAccumulate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const slots, keys = 4, 8
+	m := serialEnv()
+	r := NewWindowRing(m.SetupAlloc, m.Mem().Store, slots, keys)
+	var shadow [slots][keys]uint64
+	m.Run(func(e guest.Env) {
+		for step := 0; step < 500; step++ {
+			s, k := uint64(rng.Intn(slots)), uint64(rng.Intn(keys))
+			if rng.Intn(4) == 0 {
+				got := r.Drain(e, s, k)
+				if got != shadow[s][k] {
+					t.Fatalf("Drain(%d, %d) = %d, want %d", s, k, got, shadow[s][k])
+				}
+				shadow[s][k] = 0
+			} else {
+				v := uint64(rng.Intn(100))
+				r.Add(e, s, k, v)
+				shadow[s][k] += v
+			}
+		}
+		for s := uint64(0); s < slots; s++ {
+			for k := uint64(0); k < keys; k++ {
+				if got := e.Load(r.AccAddr(s, k)); got != shadow[s][k] {
+					t.Fatalf("acc[%d][%d] = %d, want %d", s, k, got, shadow[s][k])
+				}
+			}
+		}
+	})
+}
+
+// TestWindowRingSlotRotation: windows R apart share a slot; windows
+// closer than R never do.
+func TestWindowRingSlotRotation(t *testing.T) {
+	m := serialEnv()
+	r := NewWindowRing(m.SetupAlloc, m.Mem().Store, 4, 2)
+	for w := uint64(0); w < 20; w++ {
+		if r.SlotFor(w) != r.SlotFor(w+4) {
+			t.Fatalf("windows %d and %d should share a slot", w, w+4)
+		}
+		for d := uint64(1); d < 4; d++ {
+			if r.SlotFor(w) == r.SlotFor(w+d) {
+				t.Fatalf("windows %d and %d must not share a slot", w, w+d)
+			}
+		}
+	}
+}

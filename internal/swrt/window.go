@@ -1,0 +1,50 @@
+package swrt
+
+import "github.com/swarm-sim/swarm/internal/guest"
+
+// WindowRing is a ring of window-slot accumulators for ordered
+// windowed stream operators: Slots concurrently-live windows, each
+// holding Keys per-key accumulator words. Window w uses slot w % Slots;
+// with at least two slots, a window's flush (at the next window boundary)
+// always commits before the tuples that would reuse its slot, so
+// timestamp order alone keeps reuse safe — no locks, no watermark
+// exchanges.
+type WindowRing struct {
+	base  uint64
+	Slots uint64
+	Keys  uint64
+}
+
+// NewWindowRing allocates and zeroes the ring (setup-time).
+func NewWindowRing(alloc func(uint64) uint64, store func(addr, val uint64), slots, keys uint64) WindowRing {
+	if slots < 2 {
+		panic("swrt: WindowRing needs >= 2 slots to separate flush from slot reuse")
+	}
+	r := WindowRing{base: alloc(slots * keys * 8), Slots: slots, Keys: keys}
+	for i := uint64(0); i < slots*keys; i++ {
+		store(r.base+i*8, 0)
+	}
+	return r
+}
+
+// SlotFor returns the slot index window w accumulates into.
+func (r WindowRing) SlotFor(w uint64) uint64 { return w % r.Slots }
+
+// AccAddr returns the address of a slot's per-key accumulator.
+func (r WindowRing) AccAddr(slot, key uint64) uint64 {
+	return r.base + (slot*r.Keys+key)*8
+}
+
+// Add accumulates val into a slot's per-key accumulator.
+func (r WindowRing) Add(e guest.Env, slot, key, val uint64) {
+	a := r.AccAddr(slot, key)
+	e.Store(a, e.Load(a)+val)
+}
+
+// Drain reads and zeroes one accumulator (the flush operator's primitive).
+func (r WindowRing) Drain(e guest.Env, slot, key uint64) uint64 {
+	a := r.AccAddr(slot, key)
+	v := e.Load(a)
+	e.Store(a, 0)
+	return v
+}
