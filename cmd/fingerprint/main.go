@@ -1,0 +1,89 @@
+// Command fingerprint runs every registered benchmark on the Swarm machine
+// and prints a deterministic digest of the full Stats structure, one line
+// per (app, cores) cell.
+//
+// Its purpose is refactor verification: any change to the simulator that is
+// supposed to preserve simulated behaviour (data-structure swaps, host-side
+// optimizations) must leave the fingerprint byte-identical. Changes to the
+// timing model show up as cycle-count diffs, localized per app.
+//
+// Usage:
+//
+//	fingerprint [-scale tiny|small|medium] [-cores 1,4,16] [-apps all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/swarm-sim/swarm/internal/bench"
+	"github.com/swarm-sim/swarm/internal/core"
+	"github.com/swarm-sim/swarm/internal/noc"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "tiny", "input scale: tiny, small or medium")
+	coresFlag := flag.String("cores", "1,4,16", "comma-separated core counts")
+	appsFlag := flag.String("apps", "all", "comma-separated app names, or all")
+	flag.Parse()
+
+	scale, err := bench.ParseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	var cores []int
+	for _, f := range strings.Split(*coresFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fatal(fmt.Errorf("bad -cores value %q: %w", f, err))
+		}
+		cores = append(cores, n)
+	}
+	names := bench.AppNames()
+	if *appsFlag != "all" {
+		names = strings.Split(*appsFlag, ",")
+	}
+
+	for _, name := range names {
+		b, err := bench.New(name, scale)
+		if err != nil {
+			fatal(err)
+		}
+		for _, nc := range cores {
+			st, err := b.RunSwarm(core.DefaultConfig(nc))
+			if err != nil {
+				fatal(fmt.Errorf("%s @%dc: %w", name, nc, err))
+			}
+			fmt.Println(digest(name, nc, st))
+		}
+	}
+}
+
+// digest renders every deterministic Stats field on one line, including
+// the cache-hierarchy counters (a change that perturbs only cache-level
+// accounting must not produce an identical fingerprint).
+func digest(app string, cores int, st core.Stats) string {
+	c := st.Cache
+	return fmt.Sprintf("%s cores=%d events=%d cycles=%d commits=%d aborts=%d enq=%d deq=%d nacks=%d polAborts=%d spilled=%d "+
+		"commitCyc=%d abortCyc=%d spillCyc=%d stallCyc=%d bloom=%d vtcmp=%d gvt=%d tqOcc=%.6f cqOcc=%.6f "+
+		"trafMem=%d trafEnq=%d trafAbort=%d trafGVT=%d "+
+		"ld=%d st=%d l1h=%d l2h=%d l3h=%d mem=%d canary=%d gchk=%d inval=%d wb=%d flash=%d stickyFilt=%d",
+		app, cores, st.Events, st.Cycles, st.Commits, st.Aborts, st.Enqueues, st.Dequeues, st.NACKs,
+		st.PolicyAborts, st.SpilledTasks,
+		st.CommittedCycles, st.AbortedCycles, st.SpillCycles, st.StallCycles,
+		st.BloomChecks, st.VTCompares, st.GVTUpdates,
+		st.AvgTaskQueueOcc, st.AvgCommitQueueOcc,
+		st.TrafficBytes[noc.ClassMem], st.TrafficBytes[noc.ClassEnqueue],
+		st.TrafficBytes[noc.ClassAbort], st.TrafficBytes[noc.ClassGVT],
+		c.Loads, c.Stores, c.L1Hits, c.L2Hits, c.L3Hits, c.MemAccesses,
+		c.CanaryFails, c.GlobalChecks, c.Invalidations, c.Writebacks,
+		c.L1FlashClears, c.StickyChecksFiltered)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fingerprint:", err)
+	os.Exit(1)
+}

@@ -132,7 +132,7 @@ func (b *AStar) SwarmApp() SwarmApp {
 				e.Work(heurCost)
 				g2 := gdist + w
 				f := g2 + heuristic(cx, cy, tx, ty)
-				e.Enqueue(0, f, child, g2)
+				e.EnqueueArgs(0, f, [3]uint64{child, g2})
 			}
 		}
 		// Root f = h(src).

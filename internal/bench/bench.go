@@ -135,6 +135,6 @@ func spawnRangeTask(e guest.TaskEnv, spawnFn int, enqueueLeaf func(e guest.TaskE
 		if end > hi {
 			end = hi
 		}
-		e.Enqueue(spawnFn, e.Timestamp(), s, end)
+		e.EnqueueArgs(spawnFn, e.Timestamp(), [3]uint64{s, end})
 	}
 }

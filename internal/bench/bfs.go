@@ -81,7 +81,7 @@ func (b *BFS) SwarmApp() SwarmApp {
 			for i := lo; i < hi; i++ {
 				child := e.Load(gc.DstAddr(i))
 				e.Work(1)
-				e.Enqueue(0, e.Timestamp()+1, child)
+				e.EnqueueArgs(0, e.Timestamp()+1, [3]uint64{child})
 			}
 		}
 		return []guest.TaskFn{visit}, []guest.TaskDesc{{Fn: 0, TS: 0, Args: [3]uint64{uint64(b.src)}}}

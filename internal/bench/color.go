@@ -210,7 +210,7 @@ func (b *Color) SwarmApp() SwarmApp {
 			spawnRangeTask(e, 0, func(e guest.TaskEnv, r uint64) {
 				v := g.ord.Get(e, r)
 				e.Work(1)
-				e.Enqueue(1, r, v)
+				e.EnqueueArgs(1, r, [3]uint64{v})
 			})
 		}
 		colorTask := func(e guest.TaskEnv) {

@@ -170,16 +170,16 @@ func (b *DES) SwarmApp() SwarmApp {
 			for i := lo; i < lo+direct; i++ {
 				c := e.Load(g.foDst.Addr(i))
 				d := e.Load(g.delay.Addr(c))
-				e.Enqueue(2, e.Timestamp()+d, c)
+				e.EnqueueArgs(2, e.Timestamp()+d, [3]uint64{c})
 			}
 			if lo+direct < hi {
-				e.Enqueue(3, e.Timestamp(), lo+direct, hi)
+				e.EnqueueArgs(3, e.Timestamp(), [3]uint64{lo + direct, hi})
 			}
 		}
 
 		spawner := func(e guest.TaskEnv) {
 			spawnRangeTask(e, 0, func(e guest.TaskEnv, i uint64) {
-				e.Enqueue(1, e.Timestamp(), i)
+				e.EnqueueArgs(1, e.Timestamp(), [3]uint64{i})
 			})
 		}
 		inputSet := func(e guest.TaskEnv) {

@@ -102,7 +102,7 @@ func (b *KCore) SwarmApp() SwarmApp {
 			spawnRangeTask(e, 0, func(e guest.TaskEnv, i uint64) {
 				d := e.Load(degAddr(i))
 				e.Work(1)
-				e.Enqueue(1, d, i)
+				e.EnqueueArgs(1, d, [3]uint64{i})
 			})
 		}
 		// decrement(i) removes arc i's edge from its target: a tiny task
@@ -125,7 +125,7 @@ func (b *KCore) SwarmApp() SwarmApp {
 			}
 			if ts < e.Load(bestAddr(w)) {
 				e.Store(bestAddr(w), ts)
-				e.Enqueue(1, ts, w)
+				e.EnqueueArgs(1, ts, [3]uint64{w})
 			}
 		}
 		// relaxArcs fans arcs [lo, hi) out as decrement tasks at the
@@ -139,10 +139,10 @@ func (b *KCore) SwarmApp() SwarmApp {
 			}
 			for i := lo; i < end; i++ {
 				e.Work(1)
-				e.Enqueue(3, e.Timestamp(), i)
+				e.EnqueueArgs(3, e.Timestamp(), [3]uint64{i})
 			}
 			if end < hi {
-				e.Enqueue(2, e.Timestamp(), end, hi)
+				e.EnqueueArgs(2, e.Timestamp(), [3]uint64{end, hi})
 			}
 		}
 		peel := func(e guest.TaskEnv) {

@@ -107,7 +107,7 @@ func (b *MSF) SwarmApp() SwarmApp {
 		spawner := func(e guest.TaskEnv) {
 			spawnRangeTask(e, 0, func(e guest.TaskEnv, i uint64) {
 				w := e.Load(g.ew.Addr(i))
-				e.Enqueue(1, w, i)
+				e.EnqueueArgs(1, w, [3]uint64{i})
 			})
 		}
 		edgeTask := func(e guest.TaskEnv) {

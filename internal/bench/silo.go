@@ -110,7 +110,7 @@ func (b *Silo) SwarmApp() SwarmApp {
 		fns := make([]guest.TaskFn, 22)
 		fns[0] = func(e guest.TaskEnv) {
 			spawnRangeTask(e, 0, func(e guest.TaskEnv, i uint64) {
-				e.Enqueue(1, i<<tsBits, i)
+				e.EnqueueArgs(1, i<<tsBits, [3]uint64{i})
 			})
 		}
 		fns[1] = func(e guest.TaskEnv) { // txnRoot
@@ -120,18 +120,18 @@ func (b *Silo) SwarmApp() SwarmApp {
 			e.Work(150)
 			switch typ {
 			case tpcc.NewOrder:
-				e.Enqueue(2, ts+1, i)
+				e.EnqueueArgs(2, ts+1, [3]uint64{i})
 			case tpcc.Payment:
-				e.Enqueue(9, ts+1, i)
-				e.Enqueue(10, ts+2, i)
-				e.Enqueue(11, ts+3, i)
+				e.EnqueueArgs(9, ts+1, [3]uint64{i})
+				e.EnqueueArgs(10, ts+2, [3]uint64{i})
+				e.EnqueueArgs(11, ts+3, [3]uint64{i})
 			case tpcc.OrderStatus:
-				e.Enqueue(12, ts+1, i)
-				e.Enqueue(13, ts+2, i)
+				e.EnqueueArgs(12, ts+1, [3]uint64{i})
+				e.EnqueueArgs(13, ts+2, [3]uint64{i})
 			case tpcc.Delivery:
-				e.Enqueue(15, ts+1, i, 0)
+				e.EnqueueArgs(15, ts+1, [3]uint64{i, 0})
 			case tpcc.StockLevel:
-				e.Enqueue(20, ts+1, i)
+				e.EnqueueArgs(20, ts+1, [3]uint64{i})
 			}
 		}
 
@@ -149,9 +149,9 @@ func (b *Silo) SwarmApp() SwarmApp {
 				panic("silo: order table overflow; raise Scale.MaxOrders")
 			}
 			ts := e.Timestamp()
-			e.Enqueue(3, ts+1, i, oid)
-			e.Enqueue(4, ts+2, i, oid)
-			e.Enqueue(5, ts+3, i, oid, 0)
+			e.EnqueueArgs(3, ts+1, [3]uint64{i, oid})
+			e.EnqueueArgs(4, ts+2, [3]uint64{i, oid})
+			e.EnqueueArgs(5, ts+3, [3]uint64{i, oid, 0})
 		}
 		fns[3] = func(e guest.TaskEnv) { // noInsert: the order tuple
 			base, _ := txnBase(e)
@@ -188,10 +188,10 @@ func (b *Silo) SwarmApp() SwarmApp {
 				end = n
 			}
 			for j := j0; j < end; j++ {
-				e.Enqueue(6, ts+2+3*j, i, packOidJ(oid, j))
+				e.EnqueueArgs(6, ts+2+3*j, [3]uint64{i, packOidJ(oid, j)})
 			}
 			if end < n {
-				e.Enqueue(5, ts, i, oid, end)
+				e.EnqueueArgs(5, ts, [3]uint64{i, oid, end})
 			}
 		}
 		fns[6] = func(e guest.TaskEnv) { // noItemRead: the item tuple
@@ -200,7 +200,7 @@ func (b *Silo) SwarmApp() SwarmApp {
 			item := e.Load(base + (8+3*j)*8)
 			price := e.Load(l.ItemAddr(item) + tpcc.FIPrice*8)
 			e.Work(250)
-			e.Enqueue(7, e.Timestamp()+1, i, packOidJ(oid, j), price)
+			e.EnqueueArgs(7, e.Timestamp()+1, [3]uint64{i, packOidJ(oid, j), price})
 		}
 		fns[7] = func(e guest.TaskEnv) { // noStock: one stock tuple
 			base, i := txnBase(e)
@@ -225,7 +225,7 @@ func (b *Silo) SwarmApp() SwarmApp {
 			}
 			e.Work(250)
 			price := e.Arg(2)
-			e.Enqueue(8, e.Timestamp()+1, i, e.Arg(1), qty*price)
+			e.EnqueueArgs(8, e.Timestamp()+1, [3]uint64{i, e.Arg(1), qty * price})
 		}
 		fns[8] = func(e guest.TaskEnv) { // noLine: one order-line tuple
 			base, _ := txnBase(e)
@@ -292,7 +292,7 @@ func (b *Silo) SwarmApp() SwarmApp {
 			oid := e.Load(l.DistrictAddr(w, d) + tpcc.FDNextOID*8)
 			e.Work(250)
 			if oid > 0 {
-				e.Enqueue(14, e.Timestamp()+1, i, oid-1)
+				e.EnqueueArgs(14, e.Timestamp()+1, [3]uint64{i, oid - 1})
 			}
 		}
 		fns[14] = func(e guest.TaskEnv) { // scan one order's lines
@@ -321,10 +321,10 @@ func (b *Silo) SwarmApp() SwarmApp {
 				end = uint64(l.Scale.Districts)
 			}
 			for d := d0; d < end; d++ {
-				e.Enqueue(16, ts+1+d*5, i, d)
+				e.EnqueueArgs(16, ts+1+d*5, [3]uint64{i, d})
 			}
 			if end < uint64(l.Scale.Districts) {
-				e.Enqueue(15, ts, i, end)
+				e.EnqueueArgs(15, ts, [3]uint64{i, end})
 			}
 		}
 		fns[16] = func(e guest.TaskEnv) { // dlvPop: the queue tuple
@@ -340,7 +340,7 @@ func (b *Silo) SwarmApp() SwarmApp {
 			}
 			oid := e.Load(l.NORingAddr(w, d, head))
 			e.Store(nq+tpcc.FNOHead*8, head+1)
-			e.Enqueue(17, e.Timestamp()+1, i, packDlv(d, oid, 0, 0, 0))
+			e.EnqueueArgs(17, e.Timestamp()+1, [3]uint64{i, packDlv(d, oid, 0, 0, 0)})
 		}
 		fns[17] = func(e guest.TaskEnv) { // dlvOrder: the order tuple
 			base, i := txnBase(e)
@@ -352,7 +352,7 @@ func (b *Silo) SwarmApp() SwarmApp {
 			cnt := e.Load(oAddr + tpcc.FOOlCnt*8)
 			cid := e.Load(oAddr + tpcc.FOCid*8)
 			e.Work(250)
-			e.Enqueue(18, e.Timestamp()+1, i, packDlv(d, oid, cid, cnt, 0), 0)
+			e.EnqueueArgs(18, e.Timestamp()+1, [3]uint64{i, packDlv(d, oid, cid, cnt, 0), 0})
 		}
 		fns[18] = func(e guest.TaskEnv) { // dlvLine: one order-line tuple
 			base, i := txnBase(e)
@@ -367,9 +367,9 @@ func (b *Silo) SwarmApp() SwarmApp {
 				e.Work(8)
 			}
 			if j+1 < cnt {
-				e.Enqueue(18, e.Timestamp(), i, packDlv(d, oid, cid, cnt, j+1), acc)
+				e.EnqueueArgs(18, e.Timestamp(), [3]uint64{i, packDlv(d, oid, cid, cnt, j+1), acc})
 			} else {
-				e.Enqueue(19, e.Timestamp()+1, i, packDlv(d, oid, cid, cnt, 0), acc)
+				e.EnqueueArgs(19, e.Timestamp()+1, [3]uint64{i, packDlv(d, oid, cid, cnt, 0), acc})
 			}
 		}
 		fns[19] = func(e guest.TaskEnv) { // dlvCust: the customer tuple
@@ -395,7 +395,7 @@ func (b *Silo) SwarmApp() SwarmApp {
 				lo = next - 8
 			}
 			for o := lo; o < next; o++ {
-				e.Enqueue(21, e.Timestamp()+1, i, o)
+				e.EnqueueArgs(21, e.Timestamp()+1, [3]uint64{i, o})
 			}
 		}
 		fns[21] = func(e guest.TaskEnv) { // scan one order's stock levels

@@ -84,7 +84,7 @@ func (b *SSSP) SwarmApp() SwarmApp {
 				child := e.Load(gc.DstAddr(i))
 				w := e.Load(gc.WAddr(i))
 				e.Work(2)
-				e.Enqueue(0, e.Timestamp()+w, child)
+				e.EnqueueArgs(0, e.Timestamp()+w, [3]uint64{child})
 			}
 		}
 		return []guest.TaskFn{visit}, []guest.TaskDesc{{Fn: 0, TS: 0, Args: [3]uint64{uint64(b.src)}}}

@@ -150,7 +150,7 @@ func (b *Stream) SwarmApp() SwarmApp {
 			e.Work(6) // window arithmetic + operator bookkeeping
 			g.ring.Add(e, slot, k, v)
 			if i+1 < end {
-				e.Enqueue(0, e.Load(g.ts.Addr(i+1)), i+1, end)
+				e.EnqueueArgs(0, e.Load(g.ts.Addr(i+1)), [3]uint64{i + 1, end})
 			}
 		}
 		flush := func(e guest.TaskEnv) {
@@ -162,7 +162,7 @@ func (b *Stream) SwarmApp() SwarmApp {
 				e.Store(g.result.Addr(w*b.keys+k), g.ring.Drain(e, slot, k))
 			}
 			if w+1 < b.nWin {
-				e.Enqueue(1, (w+2)*b.window, w+1)
+				e.EnqueueArgs(1, (w+2)*b.window, [3]uint64{w + 1})
 			}
 		}
 		roots := make([]guest.TaskDesc, 0, b.nSrc+1)

@@ -104,12 +104,17 @@ func (h *hasher) hash(way int, x uint64) uint32 {
 
 // Filter is one read- or write-set signature. Insert records a line
 // address; MayContain tests membership with no false negatives.
+//
+// The ways share one flat word array (way-major): signature probes are the
+// simulator's hottest loop, and per-way slices cost a pointer chase per
+// way.
 type Filter struct {
-	cfg     Config
-	h       *hasher
-	ways    [][]uint64 // bitsets, one per way
-	precise map[uint64]struct{}
-	count   int // inserted lines (diagnostics)
+	cfg         Config
+	h           *hasher
+	words       []uint64 // ways consecutive windows of wordsPerWay words
+	wordsPerWay int
+	precise     map[uint64]struct{}
+	count       int // inserted lines (diagnostics)
 }
 
 // NewFilter creates an empty signature for the config.
@@ -121,11 +126,8 @@ func NewFilter(cfg Config) *Filter {
 		return f
 	}
 	f.h = getHasher(cfg.Bits, cfg.Ways)
-	perWayWords := (cfg.Bits/cfg.Ways + 63) / 64
-	f.ways = make([][]uint64, cfg.Ways)
-	for i := range f.ways {
-		f.ways[i] = make([]uint64, perWayWords)
-	}
+	f.wordsPerWay = (cfg.Bits/cfg.Ways + 63) / 64
+	f.words = make([]uint64, cfg.Ways*f.wordsPerWay)
 	return f
 }
 
@@ -136,9 +138,9 @@ func (f *Filter) Insert(line uint64) {
 		f.precise[line] = struct{}{}
 		return
 	}
-	for w := range f.ways {
+	for w := 0; w < f.cfg.Ways; w++ {
 		i := f.h.hash(w, line)
-		f.ways[w][i>>6] |= 1 << (i & 63)
+		f.words[w*f.wordsPerWay+int(i>>6)] |= 1 << (i & 63)
 	}
 }
 
@@ -149,13 +151,119 @@ func (f *Filter) MayContain(line uint64) bool {
 		_, ok := f.precise[line]
 		return ok
 	}
-	for w := range f.ways {
+	for w := 0; w < f.cfg.Ways; w++ {
 		i := f.h.hash(w, line)
-		if f.ways[w][i>>6]&(1<<(i&63)) == 0 {
+		if f.words[w*f.wordsPerWay+int(i>>6)]&(1<<(i&63)) == 0 {
 			return false
 		}
 	}
 	return true
+}
+
+// Probe is a precomputed membership query for one line. The H3 hash
+// indices depend only on (config, line) — not on filter contents — so one
+// Fill answers MayContain against every filter sharing the config. The
+// conflict-check hot path probes a dozen signatures per access with the
+// same line; precomputing turns each probe into a few bit tests.
+//
+// The zero value is ready; Fill reuses the Probe's storage.
+type Probe struct {
+	cfg  Config
+	h    *hasher
+	line uint64
+	pw   []probeWord // precomputed flat word index + bit mask, one per way
+	way0 uint32      // bit index within way 0 (see Way0)
+}
+
+// Way0 returns the line's bit index within way 0 — the key external
+// candidate indexes (per-tile way-0 bitmaps) use to pre-filter signature
+// probes: a filter whose way-0 bit for this index is clear cannot contain
+// the line. Meaningless for Precise configs.
+func (p *Probe) Way0() uint32 { return p.way0 }
+
+// Way0Bits returns the number of way-0 bit indexes (bits per way) for a
+// non-Precise config.
+func (c Config) Way0Bits() int {
+	if c.Precise {
+		return 0
+	}
+	return c.Bits / c.Ways
+}
+
+type probeWord struct {
+	wi   int32
+	mask uint64
+}
+
+// Fill prepares the probe to query line under config c.
+func (p *Probe) Fill(c Config, line uint64) {
+	if p.cfg != c || (p.h == nil && !c.Precise) {
+		c.validate()
+		p.cfg = c
+		p.h = nil
+		if !c.Precise {
+			p.h = getHasher(c.Bits, c.Ways)
+		}
+	}
+	p.line = line
+	if p.h == nil {
+		return
+	}
+	p.pw = p.pw[:0]
+	wordsPerWay := (c.Bits/c.Ways + 63) / 64
+	for w := 0; w < c.Ways; w++ {
+		i := p.h.hash(w, line)
+		p.pw = append(p.pw, probeWord{wi: int32(w*wordsPerWay) + int32(i>>6), mask: 1 << (i & 63)})
+		if w == 0 {
+			p.way0 = i
+		}
+	}
+}
+
+// MayContainProbe is MayContain against a precomputed probe. The filter
+// must share the probe's configuration. The common path (Bloom signature,
+// matching config) stays under the inlining budget; precise filters and
+// config mismatches divert to probeRare.
+func (f *Filter) MayContainProbe(p *Probe) bool {
+	if f.count == 0 {
+		return false // empty signature: no bits set, no members
+	}
+	if f.precise != nil || f.h != p.h {
+		return f.probeRare(p)
+	}
+	for _, pw := range p.pw {
+		if f.words[pw.wi]&pw.mask == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *Filter) probeRare(p *Probe) bool {
+	if f.precise != nil {
+		_, ok := f.precise[p.line]
+		return ok
+	}
+	// The hasher is interned per config, so an identity mismatch means the
+	// probe was filled for a different configuration.
+	panic(fmt.Sprintf("bloom: probing config %v with probe for %v", f.cfg, p.cfg))
+}
+
+// InsertProbe adds the probe's line to the set, reusing the probe's hash
+// work (the conflict-check path probes a line and then inserts it into the
+// accessor's own signature).
+func (f *Filter) InsertProbe(p *Probe) {
+	f.count++
+	if f.precise != nil {
+		f.precise[p.line] = struct{}{}
+		return
+	}
+	if f.h != p.h {
+		panic(fmt.Sprintf("bloom: inserting config %v with probe for %v", f.cfg, p.cfg))
+	}
+	for _, pw := range p.pw {
+		f.words[pw.wi] |= pw.mask
+	}
 }
 
 // Union ORs other's set into f (hardware: a wired-OR over the two
@@ -173,10 +281,8 @@ func (f *Filter) Union(other *Filter) {
 		}
 		return
 	}
-	for w := range f.ways {
-		for i := range f.ways[w] {
-			f.ways[w][i] |= other.ways[w][i]
-		}
+	for i := range f.words {
+		f.words[i] |= other.words[i]
 	}
 }
 
@@ -201,10 +307,10 @@ func (f *Filter) Intersects(other *Filter) bool {
 		}
 		return false
 	}
-	for w := range f.ways {
+	for w := 0; w < f.cfg.Ways; w++ {
 		hit := uint64(0)
-		for i := range f.ways[w] {
-			hit |= f.ways[w][i] & other.ways[w][i]
+		for i := w * f.wordsPerWay; i < (w+1)*f.wordsPerWay; i++ {
+			hit |= f.words[i] & other.words[i]
 		}
 		if hit == 0 {
 			return false
@@ -220,9 +326,7 @@ func (f *Filter) Clear() {
 		clear(f.precise)
 		return
 	}
-	for _, w := range f.ways {
-		clear(w)
-	}
+	clear(f.words)
 }
 
 // Empty reports whether nothing has been inserted since the last Clear.

@@ -446,12 +446,15 @@ func (h *Hierarchy) FlashClearL1(core int) {
 }
 
 // setAssoc is a set-associative tag array with LRU replacement and
-// epoch-based flash clear.
+// epoch-based flash clear. All sets share one flat backing array (two
+// allocations per cache instead of one per set: machines are built per
+// simulation, and per-set slices dominated construction cost).
 type setAssoc struct {
-	nSets int
-	ways  int
-	sets  [][]tagEntry
-	epoch uint32
+	nSets   int
+	ways    int
+	entries []tagEntry // nSets consecutive windows of ways entries
+	size    []uint16   // live entries per set, MRU-first in its window
+	epoch   uint32
 }
 
 type tagEntry struct {
@@ -464,18 +467,24 @@ func newSetAssoc(nSets, ways int) *setAssoc {
 	if nSets <= 0 || nSets&(nSets-1) != 0 {
 		panic("cache: set count must be a positive power of two")
 	}
-	s := &setAssoc{nSets: nSets, ways: ways, sets: make([][]tagEntry, nSets)}
-	for i := range s.sets {
-		s.sets[i] = make([]tagEntry, 0, ways)
+	return &setAssoc{
+		nSets:   nSets,
+		ways:    ways,
+		entries: make([]tagEntry, nSets*ways),
+		size:    make([]uint16, nSets),
 	}
-	return s
 }
 
 func (s *setAssoc) setOf(line uint64) int { return int(line) & (s.nSets - 1) }
 
+// set returns the live window of the line's set.
+func (s *setAssoc) set(si int) []tagEntry {
+	return s.entries[si*s.ways : si*s.ways+int(s.size[si])]
+}
+
 // lookup probes for the line and refreshes LRU on hit.
 func (s *setAssoc) lookup(line uint64) bool {
-	set := s.sets[s.setOf(line)]
+	set := s.set(s.setOf(line))
 	for i, e := range set {
 		if e.valid && e.epoch == s.epoch && e.line == line {
 			// Move to front (MRU).
@@ -491,7 +500,7 @@ func (s *setAssoc) lookup(line uint64) bool {
 // entry was displaced.
 func (s *setAssoc) install(line uint64) (victim uint64, evicted bool) {
 	si := s.setOf(line)
-	set := s.sets[si]
+	set := s.set(si)
 	// Drop stale-epoch entries opportunistically.
 	w := 0
 	for _, e := range set {
@@ -506,15 +515,16 @@ func (s *setAssoc) install(line uint64) (victim uint64, evicted bool) {
 		evicted = true
 		set = set[:len(set)-1]
 	}
-	set = append(set, tagEntry{})
+	n := len(set) + 1
+	set = s.entries[si*s.ways : si*s.ways+n]
 	copy(set[1:], set)
 	set[0] = tagEntry{line: line, valid: true, epoch: s.epoch}
-	s.sets[si] = set
+	s.size[si] = uint16(n)
 	return
 }
 
 func (s *setAssoc) invalidate(line uint64) {
-	set := s.sets[s.setOf(line)]
+	set := s.set(s.setOf(line))
 	for i := range set {
 		if set[i].valid && set[i].line == line {
 			set[i].valid = false

@@ -31,8 +31,8 @@ func TestDirectoryInclusionProperty(t *testing.T) {
 		}
 		// Inclusion check: walk each tile's L2 tags.
 		for tile := 0; tile < 4; tile++ {
-			for _, set := range h.l2[tile].sets {
-				for _, e := range set {
+			for si := 0; si < h.l2[tile].nSets; si++ {
+				for _, e := range h.l2[tile].set(si) {
 					if !e.valid || e.epoch != h.l2[tile].epoch {
 						continue
 					}

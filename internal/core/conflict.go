@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+	"math/bits"
+
 	"github.com/swarm-sim/swarm/internal/cache"
 	"github.com/swarm-sim/swarm/internal/guest"
 	"github.com/swarm-sim/swarm/internal/mem"
@@ -26,33 +29,55 @@ func (m *Machine) access(c *cpu, t *task, op guest.Op) (lat, val uint64) {
 	lat = res.Latency
 
 	if t.spec() {
-		var victims []*task
+		victims := m.getVictims()
+		m.probe.Fill(m.cfg.Bloom, line)
 		if !(res.L1Hit && !isWrite) {
 			cost, _ := m.checkTile(c.tile, t, line, isWrite, &victims)
 			lat += m.checkLat(cost)
 		}
 		if res.NeedGlobalCheck {
-			// Copy: the result buffer is reused by nested accesses.
-			tilesToCheck := append([]int(nil), res.CheckTiles...)
-			for _, tl := range tilesToCheck {
+			// Copy into machine scratch: the result buffer is reused by
+			// the cache on the next access.
+			m.tilesScratch = append(m.tilesScratch[:0], res.CheckTiles...)
+			// The directory forwards the checks in parallel and the
+			// requester waits for the farthest response (Fig 7), so the
+			// added latency is the max over checked tiles, not the sum.
+			var farthest uint64
+			for _, tl := range m.tilesScratch {
 				cost, present := m.checkTile(tl, t, line, isWrite, &victims)
-				// Directory forwards the check; requester waits for the
-				// farthest response.
-				lat += m.checkLat(cost + 2*m.mesh.Latency(c.tile, tl))
+				if resp := cost + 2*m.mesh.Latency(c.tile, tl); resp > farthest {
+					farthest = resp
+				}
 				m.mesh.Send(c.tile, tl, noc.ClassMem, noc.HeaderBytes)
 				m.mesh.Send(tl, c.tile, noc.ClassMem, noc.HeaderBytes)
 				if !present {
 					m.hier.ClearSticky(line, tl)
 				}
 			}
+			lat += m.checkLat(farthest)
 		}
-		for _, v := range victims {
-			m.abortTask(v, false)
+		if len(victims) > 0 {
+			for _, r := range victims {
+				m.abortTask(r.t, false)
+			}
+			// Rollback conflict checks re-filled the shared probe for other
+			// lines; restore it for the signature insert below.
+			m.probe.Fill(m.cfg.Bloom, line)
 		}
+		m.putVictims(victims)
+		tt := m.tiles[t.tile]
 		if isWrite {
-			t.ws.Insert(line)
+			t.ws.InsertProbe(&m.probe)
+			if tt.ws0.rows != nil {
+				tt.ws0.set(m.probe.Way0(), t.slot)
+				t.ws0Bits = append(t.ws0Bits, m.probe.Way0())
+			}
 		} else {
-			t.rs.Insert(line)
+			t.rs.InsertProbe(&m.probe)
+			if tt.rs0.rows != nil {
+				tt.rs0.set(m.probe.Way0(), t.slot)
+				t.rs0Bits = append(t.rs0Bits, m.probe.Way0())
+			}
 		}
 	}
 
@@ -99,12 +124,17 @@ func (m *Machine) checkLat(l uint64) uint64 {
 // speculative state for the line at all — a reader that does not conflict
 // with this load must stay visible to future writes). Later-virtual-time
 // conflictors are appended to victims.
-func (m *Machine) checkTile(tileID int, accessor *task, line uint64, isWrite bool, victims *[]*task) (cost uint64, anySpec bool) {
+func (m *Machine) checkTile(tileID int, accessor *task, line uint64, isWrite bool, victims *[]victimRef) (cost uint64, anySpec bool) {
 	cost = m.cfg.TileCheckCost
 	m.st.bloomChecks++
 	tt := m.tiles[tileID]
 
-	probe := func(v *task) {
+	// probe tests one resident task's signatures against the precomputed
+	// line probe. key encodes the task's position in the architectural
+	// probe order (cores, then commit queue, then finish-wait, each in
+	// entry order); victims are sorted by it below so abort order is
+	// deterministic and independent of how candidates were found.
+	probe := func(v *task, key uint64) {
 		if debugProbeHook != nil {
 			debugProbeHook(accessor, tileID, v)
 		}
@@ -116,8 +146,8 @@ func (m *Machine) checkTile(tileID int, accessor *task, line uint64, isWrite boo
 		default:
 			return
 		}
-		inWS := v.ws.MayContain(line)
-		inRS := v.rs.MayContain(line)
+		inWS := v.ws.MayContainProbe(&m.probe)
+		inRS := v.rs.MayContainProbe(&m.probe)
 		if inWS || inRS {
 			anySpec = true
 		}
@@ -129,21 +159,83 @@ func (m *Machine) checkTile(tileID int, accessor *task, line uint64, isWrite boo
 		cost++
 		m.st.vtCompares++
 		if accessor.vt.Less(v.vt) {
-			*victims = append(*victims, v)
+			*victims = append(*victims, victimRef{t: v, key: key})
 		}
 	}
 
-	base := tileID * m.cfg.CoresPerTile
-	for i := 0; i < m.cfg.CoresPerTile; i++ {
-		probe(m.cores[base+i].task)
+	start := len(*victims)
+	if tt.ws0.rows != nil {
+		// Way-0 fast path: only tasks whose way-0 bit for this line is set
+		// can pass a signature probe; everything else would miss at way 0.
+		// Probing exactly those tasks is bit-identical to scanning all.
+		i0 := m.probe.Way0()
+		wsRow, rsRow := tt.ws0.rows[i0], tt.rs0.rows[i0]
+		nw := len(wsRow)
+		if len(rsRow) > nw {
+			nw = len(rsRow)
+		}
+		for w := 0; w < nw; w++ {
+			var bits uint64
+			if w < len(wsRow) {
+				bits = wsRow[w]
+			}
+			if w < len(rsRow) {
+				bits |= rsRow[w]
+			}
+			for bits != 0 {
+				v := tt.slotTasks[w*64+trailingZeros(bits)]
+				bits &= bits - 1
+				probe(v, probeKey(v))
+				if v.state == taskFinishing {
+					// A finishing task holds its core and a finish-wait
+					// entry; the architectural scan probes it in both.
+					probe(v, keyFinishWait|v.qSeq)
+				}
+			}
+		}
+	} else {
+		// Precise signatures have no ways: scan every resident task.
+		base := tileID * m.cfg.CoresPerTile
+		for i := 0; i < m.cfg.CoresPerTile; i++ {
+			probe(m.cores[base+i].task, keyCore|uint64(i))
+		}
+		for _, v := range tt.commitQ.s {
+			probe(v, keyCommitQ|v.qSeq)
+		}
+		for _, v := range tt.finishWait.s {
+			probe(v, keyFinishWait|v.qSeq)
+		}
 	}
-	for _, v := range tt.commitQ {
-		probe(v)
-	}
-	for _, v := range tt.finishWait {
-		probe(v)
-	}
+	sortVictims((*victims)[start:])
 	return cost, anySpec
+}
+
+// Victim-order keys: group in the top bits (cores, commit queue,
+// finish-wait — the architectural probe order), entry order below.
+const (
+	keyCore       = uint64(0) << 62
+	keyCommitQ    = uint64(1) << 62
+	keyFinishWait = uint64(2) << 62
+)
+
+// probeKey returns a resident task's first-occurrence probe-order key.
+func probeKey(v *task) uint64 {
+	if v.core >= 0 {
+		return keyCore | uint64(v.core)
+	}
+	return keyCommitQ | v.qSeq
+}
+
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }
+
+// sortVictims orders a victim segment by probe-order key (insertion sort:
+// segments are tiny and already mostly ordered).
+func sortVictims(v []victimRef) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j].key < v[j-1].key; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
 }
 
 // abortTask squashes a task and, transitively, its dependents (§4.5,
@@ -181,6 +273,11 @@ func (m *Machine) abortTask(t *task, discard bool) {
 		m.mesh.Send(t.tile, ch.tile, noc.ClassAbort, noc.AbortMsgBytes)
 		m.abortTask(ch, true)
 	}
+	// Restore the detached slice's capacity for the recycled task struct
+	// (nothing can have appended mid-loop: t holds no running guest).
+	if t.children == nil {
+		t.children = children[:0]
+	}
 
 	// Detach from core / commit queue.
 	switch t.state {
@@ -200,7 +297,7 @@ func (m *Machine) abortTask(t *task, discard bool) {
 		}
 		if t.co != nil {
 			t.co.Resume(guest.Result{Abort: true}) // unwind the guest
-			t.co = nil
+			m.releaseCoroutine(t)
 		}
 		c := m.cores[t.core]
 		c.abortedCyc += t.cyc
@@ -208,19 +305,24 @@ func (m *Machine) abortTask(t *task, discard bool) {
 		t.core = -1
 		m.scheduleDispatch(c, 1)
 	case taskFinishing:
-		tt.finishWait = removeTask(tt.finishWait, t)
+		tt.finishWait.Remove(t)
 		c := m.cores[t.core]
 		c.abortedCyc += t.cyc
 		c.task = nil
 		t.core = -1
 		m.scheduleDispatch(c, 1)
 	case taskFinished:
-		tt.commitQ = removeTask(tt.commitQ, t)
+		tt.commitQ.Remove(t)
 		if t.core >= 0 {
 			panic("core: finished task still bound to a core")
 		}
 		m.cores[m.ranCore(t)].abortedCyc += t.cyc
 	}
+
+	// Drop out of the way-0 index before the undo walk: the task is now
+	// detached from its core and queues, so the architectural scan can no
+	// longer see it — nested rollback checks must not find it either.
+	m.releaseSlot(tt, t)
 
 	// 2. Walk the undo log in LIFO order. Each restore is a conflict-
 	// checked write at t's virtual time: later readers/writers abort
@@ -254,11 +356,15 @@ func (m *Machine) abortTask(t *task, discard bool) {
 }
 
 // ranCore returns the core that executed a no-longer-running task; cycle
-// attribution needs it. We recover it from the virtual time's tile plus a
-// remembered core id.
+// attribution needs it. Dispatch always records lastCore, so a missing id
+// would silently mis-attribute aborted cycles to the tile's core 0 — treat
+// it as the invariant violation it is.
 func (m *Machine) ranCore(t *task) int {
 	if t.lastCore >= 0 {
 		return t.lastCore
+	}
+	if m.cfg.DebugChecks {
+		panic(fmt.Sprintf("core: task %v reached %v without a recorded core", t.vt, t.state))
 	}
 	return t.tile * m.cfg.CoresPerTile
 }
@@ -269,7 +375,8 @@ func (m *Machine) ranCore(t *task) int {
 func (m *Machine) rollbackWrite(t *task, addr uint64) {
 	line := mem.Line(addr)
 	mask := m.hier.DirTiles(line) | 1<<uint(t.tile)
-	var victims []*task
+	victims := m.getVictims()
+	m.probe.Fill(m.cfg.Bloom, line)
 	for tl := 0; tl < m.cfg.Tiles; tl++ {
 		if mask&(1<<uint(tl)) == 0 {
 			continue
@@ -278,9 +385,10 @@ func (m *Machine) rollbackWrite(t *task, addr uint64) {
 		// readers and writers.
 		m.checkTile(tl, t, line, true, &victims)
 	}
-	for _, v := range victims {
-		if t.vt.Less(v.vt) {
-			m.abortTask(v, false)
+	for _, r := range victims {
+		if t.vt.Less(r.t.vt) {
+			m.abortTask(r.t, false)
 		}
 	}
+	m.putVictims(victims)
 }

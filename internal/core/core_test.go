@@ -331,9 +331,13 @@ func (r *refEnv) Free(uint64, uint64)   {}
 func (r *refEnv) Timestamp() uint64     { return r.desc.TS }
 func (r *refEnv) Arg(i int) uint64      { return r.desc.Args[i] }
 func (r *refEnv) Enqueue(fn int, ts uint64, args ...uint64) {
-	d := guest.TaskDesc{Fn: fn, TS: ts}
-	copy(d.Args[:], args)
-	heap.Push(r.queue, d)
+	var a [3]uint64
+	copy(a[:], args)
+	r.EnqueueArgs(fn, ts, a)
+}
+
+func (r *refEnv) EnqueueArgs(fn int, ts uint64, args [3]uint64) {
+	heap.Push(r.queue, guest.TaskDesc{Fn: fn, TS: ts, Args: args})
 }
 
 func runReference(fn guest.TaskFn, roots []guest.TaskDesc, brk uint64) (map[uint64]uint64, int) {

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"github.com/swarm-sim/swarm/internal/noc"
 	"github.com/swarm-sim/swarm/internal/vt"
@@ -41,7 +40,7 @@ func (m *Machine) gvtRound() {
 	// post-commit minimum).
 	for _, tt := range m.tiles {
 		m.st.tqOccSum += uint64(tt.nTasks)
-		m.st.cqOccSum += uint64(len(tt.commitQ) + len(tt.finishWait))
+		m.st.cqOccSum += uint64(tt.commitQ.Len() + tt.finishWait.Len())
 	}
 	m.st.occSamples++
 
@@ -50,7 +49,7 @@ func (m *Machine) gvtRound() {
 		m.unblockTile(tt, now)
 	}
 
-	m.eng.After(m.cfg.GVTPeriod, m.gvtRound)
+	m.eng.After(m.cfg.GVTPeriod, m.gvtFn)
 }
 
 // unblockTile enforces the §4.7 progress rule from the arbiter's side:
@@ -72,7 +71,7 @@ func (m *Machine) unblockTile(tt *tile, now uint64) {
 		return
 	}
 	bound := minIdle.boundVT(now)
-	cqFull := len(tt.commitQ) >= m.cfg.CommitQPerTile()
+	cqFull := tt.commitQ.Len() >= m.cfg.CommitQPerTile()
 	var maxT *task
 	base := tt.id * m.cfg.CoresPerTile
 	for i := 0; i < m.cfg.CoresPerTile; i++ {
@@ -98,6 +97,15 @@ func (m *Machine) unblockTile(tt *tile, now uint64) {
 	}
 }
 
+// descBoundVT is the GVT bound of a memory-resident task descriptor owned
+// by a tile — idle tasks, overflow buffers, coalescer batches and spilled
+// batches all bound as (timestamp, now, owning tile) (§4.6). Every bound
+// comparison (tileMinVT, the commit-order assertion) must build bounds
+// through this one helper so ties break identically everywhere.
+func descBoundVT(ts, now uint64, tile int) vt.Time {
+	return vt.Time{TS: ts, Cycle: now, Tile: uint32(tile)}
+}
+
 // tileMinVT computes the smallest virtual time of any unfinished task in
 // the tile: running tasks use their unique virtual time; idle tasks and
 // memory-resident descriptors (overflow buffers, in-flight coalescer
@@ -111,41 +119,43 @@ func (m *Machine) tileMinVT(tt *tile, now uint64) vt.Time {
 		}
 	}
 	if t := tt.idleQ.Min(); t != nil {
-		minV = vt.Min(minV, vt.Time{TS: t.desc.TS, Cycle: now, Tile: uint32(tt.id)})
+		minV = vt.Min(minV, descBoundVT(t.desc.TS, now, tt.id))
 	}
 	if len(tt.overflow) > 0 {
-		minV = vt.Min(minV, vt.Time{TS: tt.overflow[0].TS, Cycle: now, Tile: uint32(tt.id)})
+		minV = vt.Min(minV, descBoundVT(tt.overflow[0].TS, now, tt.id))
 	}
 	if tt.coalescerLive {
-		minV = vt.Min(minV, vt.Time{TS: tt.coalescerTS, Cycle: now, Tile: uint32(tt.id)})
+		minV = vt.Min(minV, descBoundVT(tt.coalescerTS, now, tt.id))
 	}
 	return minV
 }
 
 // commitRound commits every finished task with virtual time < gvt, in
-// virtual-time order (parents before children).
+// virtual-time order (parents before children). The per-tile commit queues
+// are min-heaps on virtual time, so the round is a k-way merge over queue
+// heads — no rescan of queue bodies and no sort.
 func (m *Machine) commitRound(gvt vt.Time) {
-	var ready []*task
-	for _, tt := range m.tiles {
-		for _, t := range tt.commitQ {
-			if t.vt.Less(gvt) {
-				ready = append(ready, t)
+	committed := false
+	for {
+		var best *task
+		for _, tt := range m.tiles {
+			if t := tt.commitQ.Min(); t != nil && t.vt.Less(gvt) && (best == nil || t.vt.Less(best.vt)) {
+				best = t
+			}
+			// A finished task stalled for a commit queue entry can commit
+			// directly once ordered before the GVT.
+			if t := tt.finishWait.Min(); t != nil && t.vt.Less(gvt) && (best == nil || t.vt.Less(best.vt)) {
+				best = t
 			}
 		}
-		for _, t := range tt.finishWait {
-			// A finished task stalled for a commit queue entry can
-			// commit directly once ordered before the GVT.
-			if t.vt.Less(gvt) {
-				ready = append(ready, t)
-			}
+		if best == nil {
+			break
 		}
+		m.commitTask(best)
+		committed = true
 	}
-	if len(ready) == 0 {
+	if !committed {
 		return
-	}
-	sort.Slice(ready, func(i, j int) bool { return ready[i].vt.Less(ready[j].vt) })
-	for _, t := range ready {
-		m.commitTask(t)
 	}
 	for _, tt := range m.tiles {
 		m.promoteFinishWaiters(tt)
@@ -162,9 +172,9 @@ func (m *Machine) commitTask(t *task) {
 	tt := m.tiles[t.tile]
 	switch t.state {
 	case taskFinished:
-		tt.commitQ = removeTask(tt.commitQ, t)
+		tt.commitQ.Remove(t)
 	case taskFinishing:
-		tt.finishWait = removeTask(tt.finishWait, t)
+		tt.finishWait.Remove(t)
 		// The stalled task still holds its core; release it.
 		m.releaseCore(m.cores[t.core], t)
 	default:
@@ -173,6 +183,7 @@ func (m *Machine) commitTask(t *task) {
 	t.state = taskCommitted
 	m.st.commits++
 	tt.commitsCount++
+	m.releaseSlot(tt, t)
 	if t.lastCore >= 0 {
 		m.cores[t.lastCore].committedCyc += t.cyc
 	}
@@ -180,8 +191,10 @@ func (m *Machine) commitTask(t *task) {
 	for _, ch := range t.children {
 		ch.parent = nil // children of committed parents are non-speculative
 	}
-	t.children = nil
-	t.undo = nil
+	// Truncate rather than nil out: the task struct is recycled and keeps
+	// its slice capacities.
+	t.children = t.children[:0]
+	t.undo = t.undo[:0]
 	m.freeSlot(t)
 }
 
@@ -197,12 +210,12 @@ func (m *Machine) assertCommitOrder(t *task) {
 			}
 		}
 		for _, d := range tt.overflow {
-			if (vt.Time{TS: d.TS, Cycle: now, Tile: uint32(tt.id)}).Less(t.vt) {
+			if descBoundVT(d.TS, now, tt.id).Less(t.vt) {
 				panic(fmt.Sprintf("core: committing %v but overflow ts=%d could precede it", t.vt, d.TS))
 			}
 		}
 		if tt.coalescerLive {
-			if (vt.Time{TS: tt.coalescerTS, Cycle: now, Tile: uint32(tt.id)}).Less(t.vt) {
+			if descBoundVT(tt.coalescerTS, now, tt.id).Less(t.vt) {
 				panic(fmt.Sprintf("core: committing %v but coalescer batch ts=%d could precede it", t.vt, tt.coalescerTS))
 			}
 		}
@@ -213,8 +226,8 @@ func (m *Machine) assertCommitOrder(t *task) {
 		}
 	}
 	for _, b := range m.spillStore {
-		for _, d := range b {
-			if (vt.Time{TS: d.TS, Cycle: now}).Less(t.vt) {
+		for _, d := range b.descs {
+			if descBoundVT(d.TS, now, b.tile).Less(t.vt) {
 				panic(fmt.Sprintf("core: committing %v but spilled ts=%d could precede it", t.vt, d.TS))
 			}
 		}

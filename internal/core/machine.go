@@ -29,6 +29,10 @@ type cpu struct {
 	id, tile int
 	task     *task
 
+	// dispatchFn is the pre-bound dispatch event callback (built once in
+	// NewMachine) so scheduling a dispatch allocates no closure.
+	dispatchFn func()
+
 	lastVT  vt.Time
 	everRan bool
 
@@ -50,13 +54,30 @@ type tile struct {
 	nTasks int // occupied task queue entries
 
 	idleQ      orderQueue
-	commitQ    []*task
-	finishWait []*task // finished tasks stalled waiting for a CQ entry
+	commitQ    vtHeap // finished tasks, min-heap on virtual time
+	finishWait vtHeap // finished tasks stalled waiting for a CQ entry
 
 	// overflow holds task descriptors spilled to memory when the queue is
 	// full and the enqueuer is the GVT task (§4.7 deadlock avoidance).
 	// It is a min-heap on timestamp.
 	overflow descHeap
+
+	// ws0/rs0 index the tile's speculative tasks by way-0 signature bit:
+	// ws0[i] is a bitmap (over tile slot ids) of the tasks whose write-set
+	// filter has way-0 bit i set, and likewise rs0 for read sets. A
+	// signature probe can only hit a task whose way-0 bit for the probed
+	// line is set, so conflict checks probe exactly the tasks these
+	// bitmaps name instead of scanning every core and commit queue entry —
+	// the host-side equivalent of the hardware's parallel signature CAM
+	// (Fig 8), with bit-exact results. Unused (nil) for Precise
+	// signatures, which have no ways; those configs scan fully.
+	ws0, rs0 slotBitmaps
+
+	// slotTasks maps tile slot ids to the dispatched speculative tasks
+	// holding them; freeSlots recycles ids. Slots are assigned at dispatch
+	// and released when the task's signatures are cleared (abort/commit).
+	slotTasks []*task
+	freeSlots []int32
 
 	lastDequeue   uint64
 	everDequeued  bool
@@ -86,13 +107,33 @@ type Machine struct {
 	seqCtr   uint64
 	tokCtr   uint64
 	batchCtr uint64
+	qSeqCtr  uint64
 
-	spillStore map[uint64][]guest.TaskDesc
+	spillStore map[uint64]spillBatch
 
 	gvt  vt.Time
 	done bool
 
+	// gvtFn and traceFn are the pre-bound periodic event callbacks.
+	gvtFn   func()
+	traceFn func()
+
 	filterPool []*bloom.Filter
+
+	// Hot-path scratch storage (§4.3 conflict checks run on every access;
+	// none of them may allocate in steady state).
+	tilesScratch []int         // snapshot of cache.Result.CheckTiles
+	victimPool   [][]victimRef // conflict-victim buffers (aborts recurse)
+	probe        bloom.Probe   // per-line signature probe, shared by a check batch
+
+	// Task-struct recycling. Freed tasks rest in a graveyard until the
+	// engine moves to a later event: abort cascades may still hold freed
+	// tasks in victim buffers on the stack, but such references never
+	// survive the event that created them, so age (in fired events) makes
+	// reuse safe. taskGrave is a FIFO (head..len); entries before head are
+	// nil.
+	taskGrave []*task
+	graveHead int
 
 	st      internalStats
 	tracer  *tracer
@@ -114,16 +155,27 @@ func NewMachine(cfg Config, prog *Program) (*Machine, error) {
 		mesh:       noc.New(cfg.Tiles, cfg.HopCycles),
 		prog:       prog,
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		spillStore: make(map[uint64][]guest.TaskDesc),
+		spillStore: make(map[uint64]spillBatch),
 	}
+	m.gvtFn = m.gvtRound
 	m.hier = cache.New(cfg.Cache, m.mesh)
 	m.tiles = make([]*tile, cfg.Tiles)
 	for i := range m.tiles {
-		m.tiles[i] = &tile{id: i}
+		t := &tile{id: i}
+		if n := cfg.Bloom.Way0Bits(); n > 0 {
+			t.ws0.init(n)
+			t.rs0.init(n)
+		}
+		m.tiles[i] = t
 	}
 	m.cores = make([]*cpu, cfg.Cores())
 	for i := range m.cores {
-		m.cores[i] = &cpu{id: i, tile: i / cfg.CoresPerTile}
+		c := &cpu{id: i, tile: i / cfg.CoresPerTile}
+		c.dispatchFn = func() {
+			c.dispatchPending = false
+			m.dispatch(c)
+		}
+		m.cores[i] = c
 	}
 	if cfg.TraceInterval > 0 {
 		m.tracer = newTracer(m)
@@ -172,9 +224,10 @@ func (m *Machine) Run() (Stats, error) {
 	for _, c := range m.cores {
 		m.scheduleDispatch(c, 0)
 	}
-	m.eng.After(m.cfg.GVTPeriod, m.gvtRound)
+	m.eng.After(m.cfg.GVTPeriod, m.gvtFn)
 	if m.tracer != nil {
-		m.eng.After(m.cfg.TraceInterval, m.tracer.sample)
+		m.traceFn = m.tracer.sample
+		m.eng.After(m.cfg.TraceInterval, m.traceFn)
 	}
 	if err := m.eng.Run(m.cfg.MaxCycles); err != nil {
 		return Stats{}, fmt.Errorf("core: %w (likely livelock: %s)", err, m.describeState())
@@ -190,8 +243,8 @@ func (m *Machine) describeState() string {
 	coal := 0
 	for _, t := range m.tiles {
 		tq += t.nTasks
-		cq += len(t.commitQ)
-		fw += len(t.finishWait)
+		cq += t.commitQ.Len()
+		fw += t.finishWait.Len()
 		idle += t.idleQ.Len()
 		ovf += len(t.overflow)
 		if t.coalescing {
@@ -219,14 +272,10 @@ func (m *Machine) describeState() string {
 // ---------------------------------------------------------------- tasks --
 
 func (m *Machine) newTask(d guest.TaskDesc, tileID int, parent *task) *task {
-	t := &task{
-		desc:     d,
-		tile:     tileID,
-		seq:      m.nextSeq(),
-		core:     -1,
-		lastCore: -1,
-		heapIdx:  -1,
-	}
+	t := m.allocTask()
+	t.desc = d
+	t.tile = tileID
+	t.seq = m.nextSeq()
 	t.allocToken = m.nextToken()
 	if parent != nil {
 		t.parent = parent
@@ -242,6 +291,157 @@ func (m *Machine) newTask(d guest.TaskDesc, tileID int, parent *task) *task {
 
 func (m *Machine) nextSeq() uint64   { m.seqCtr++; return m.seqCtr }
 func (m *Machine) nextToken() uint64 { m.tokCtr++; return m.tokCtr }
+
+// allocTask returns a zeroed task, recycling the graveyard head when it was
+// freed in an earlier engine event (see taskGrave).
+func (m *Machine) allocTask() *task {
+	if m.graveHead < len(m.taskGrave) && m.taskGrave[m.graveHead].graveEv < m.eng.Fired() {
+		t := m.taskGrave[m.graveHead]
+		m.taskGrave[m.graveHead] = nil
+		m.graveHead++
+		if m.graveHead == len(m.taskGrave) {
+			m.taskGrave = m.taskGrave[:0]
+			m.graveHead = 0
+		}
+		// Reset everything except the retained capacities (children, undo)
+		// and the pre-bound event callback.
+		t.desc = guest.TaskDesc{}
+		t.kind = kindWorker
+		t.state = taskIdle
+		t.seq = 0
+		t.vt = vt0
+		t.parent = nil
+		t.children = t.children[:0]
+		t.undo = t.undo[:0]
+		t.co = nil
+		t.core = -1
+		t.lastCore = -1
+		t.cyc = 0
+		t.pendingEv = nil
+		t.inBackoff = false
+		t.pend = 0
+		t.pendVal = 0
+		t.pendDesc = guest.TaskDesc{}
+		t.pendAttempt = 0
+		t.batch = 0
+		t.allocToken = 0
+		t.heapIdx = -1
+		t.cqIdx = -1
+		t.qSeq = 0
+		t.slot = -1
+		t.ws0Bits = t.ws0Bits[:0]
+		t.rs0Bits = t.rs0Bits[:0]
+		return t
+	}
+	t := &task{core: -1, lastCore: -1, heapIdx: -1, cqIdx: -1, slot: -1}
+	t.evFn = func() { m.taskEvent(t) }
+	return t
+}
+
+// graveTask parks a freed task for recycling once the engine has moved on.
+func (m *Machine) graveTask(t *task) {
+	t.graveEv = m.eng.Fired()
+	m.taskGrave = append(m.taskGrave, t)
+}
+
+// slotBitmaps is one way-0 task index: rows[i] is a bitmap over tile slot
+// ids of the tasks whose signature has way-0 bit i set. Rows grow lazily
+// as the slot population crosses multiples of 64.
+type slotBitmaps struct {
+	rows [][]uint64
+}
+
+func (b *slotBitmaps) init(nBits int) {
+	b.rows = make([][]uint64, nBits)
+	// Pre-carve two words (128 slots) per row from one flat backing: tile
+	// slot populations are bounded by cores + commit queue + finish-wait,
+	// which fits in 128 for every bounded configuration. Unbounded-queue
+	// runs grow individual rows past their carved capacity as needed.
+	flat := make([]uint64, nBits*2)
+	for i := range b.rows {
+		b.rows[i] = flat[i*2 : i*2 : i*2+2]
+	}
+}
+
+func (b *slotBitmaps) set(i uint32, slot int32) {
+	row := b.rows[i]
+	for int(slot>>6) >= len(row) {
+		row = append(row, 0)
+	}
+	row[slot>>6] |= 1 << (slot & 63)
+	b.rows[i] = row
+}
+
+func (b *slotBitmaps) clear(i uint32, slot int32) {
+	row := b.rows[i]
+	if int(slot>>6) < len(row) {
+		row[slot>>6] &^= 1 << (slot & 63)
+	}
+}
+
+// assignSlot gives a dispatched speculative task a tile slot id.
+func (m *Machine) assignSlot(tt *tile, t *task) {
+	if n := len(tt.freeSlots); n > 0 {
+		t.slot = tt.freeSlots[n-1]
+		tt.freeSlots = tt.freeSlots[:n-1]
+		tt.slotTasks[t.slot] = t
+		return
+	}
+	t.slot = int32(len(tt.slotTasks))
+	tt.slotTasks = append(tt.slotTasks, t)
+}
+
+// releaseSlot drops a task from the way-0 index (clearing every bit its
+// inserts set) and recycles its slot id. Paired with clearing the task's
+// signatures.
+func (m *Machine) releaseSlot(tt *tile, t *task) {
+	if t.slot < 0 {
+		return
+	}
+	for _, i := range t.ws0Bits {
+		tt.ws0.clear(i, t.slot)
+	}
+	for _, i := range t.rs0Bits {
+		tt.rs0.clear(i, t.slot)
+	}
+	t.ws0Bits = t.ws0Bits[:0]
+	t.rs0Bits = t.rs0Bits[:0]
+	tt.slotTasks[t.slot] = nil
+	tt.freeSlots = append(tt.freeSlots, t.slot)
+	t.slot = -1
+}
+
+// releaseCoroutine returns a task's finished coroutine to the guest pool.
+func (m *Machine) releaseCoroutine(t *task) {
+	if t.co != nil {
+		t.co.Recycle()
+		t.co = nil
+	}
+}
+
+// victimRef is one conflict victim plus its probe-order key (see
+// checkTile): aborts must run in the architectural probe order no matter
+// how the candidate search found the task.
+type victimRef struct {
+	t   *task
+	key uint64
+}
+
+// getVictims hands out an empty conflict-victim buffer; putVictims returns
+// it. Buffers come from a small pool because aborts recurse (an abort's
+// rollback conflict-checks and may abort further tasks).
+func (m *Machine) getVictims() []victimRef {
+	if n := len(m.victimPool); n > 0 {
+		v := m.victimPool[n-1]
+		m.victimPool = m.victimPool[:n-1]
+		return v[:0]
+	}
+	return make([]victimRef, 0, 8)
+}
+
+func (m *Machine) putVictims(v []victimRef) {
+	m.victimPool = append(m.victimPool, v)
+}
 
 func (m *Machine) getFilter() *bloom.Filter {
 	if n := len(m.filterPool); n > 0 {
@@ -281,7 +481,7 @@ func (m *Machine) insertIdle(tt *tile, t *task) {
 // abort the highest-virtual-time running task so the earlier task can make
 // progress.
 func (m *Machine) coresPolicy(tt *tile, arrived *task) {
-	if m.cfg.UnboundedQueues || len(tt.commitQ) < m.cfg.CommitQPerTile() {
+	if m.cfg.UnboundedQueues || tt.commitQ.Len() < m.cfg.CommitQPerTile() {
 		return
 	}
 	bound := arrived.boundVT(m.eng.Now())
@@ -327,6 +527,7 @@ func (m *Machine) freeSlot(t *task) {
 	m.putFilter(t.rs)
 	m.putFilter(t.ws)
 	t.rs, t.ws = nil, nil
+	m.graveTask(t)
 	m.drainOverflow(tt)
 }
 
@@ -358,10 +559,42 @@ func (m *Machine) scheduleDispatch(c *cpu, delay uint64) {
 		return
 	}
 	c.dispatchPending = true
-	m.eng.After(delay, func() {
-		c.dispatchPending = false
-		m.dispatch(c)
-	})
+	m.eng.After(delay, c.dispatchFn)
+}
+
+// taskEvent is the single event callback every per-task event routes
+// through (via task.evFn): it decodes the pending-event kind recorded at
+// schedule time. Events are cancelled whenever their task is squashed or
+// detached, so at fire time the task is still bound to its core.
+func (m *Machine) taskEvent(t *task) {
+	t.pendingEv = nil
+	if t.pend == pendEnqRetry {
+		// Defensive: the retry is cancelled on abort, but never resume a
+		// task that is no longer running.
+		if t.state == taskRunning {
+			m.enqueueOp(m.cores[t.core], t, t.pendDesc, t.pendAttempt)
+		}
+		return
+	}
+	c := m.cores[t.core]
+	switch t.pend {
+	case pendStart:
+		m.startBody(c, t)
+	case pendResume:
+		m.resumeTask(c, t, guest.Result{Val: t.pendVal})
+	case pendResumeOK:
+		m.resumeTask(c, t, guest.Result{OK: true})
+	case pendFinish:
+		m.tryFinish(c, t)
+	}
+}
+
+// schedule arms t's pre-bound event callback: kind and payload now, fire in
+// delay cycles.
+func (m *Machine) schedule(t *task, delay uint64, kind pendKind, val uint64) {
+	t.pend = kind
+	t.pendVal = val
+	t.pendingEv = m.eng.After(delay, t.evFn)
 }
 
 // dispatch implements dequeue_task on a free core: run a coalescer if the
@@ -401,7 +634,10 @@ func (m *Machine) dispatch(c *cpu) {
 	t.core = c.id
 	t.lastCore = c.id
 	c.task = t
-	t.vt = vt.Time{TS: t.desc.TS, Cycle: now, Tile: uint32(tt.id)}
+	t.vt = descBoundVT(t.desc.TS, now, tt.id)
+	if t.spec() {
+		m.assignSlot(tt, t)
+	}
 	m.st.dequeues++
 
 	// L1 conflict-filter invariant: flash-clear when running backwards.
@@ -412,10 +648,7 @@ func (m *Machine) dispatch(c *cpu) {
 	c.everRan = true
 
 	m.busy(c, t, m.cfg.DequeueCost)
-	t.pendingEv = m.eng.After(m.cfg.DequeueCost, func() {
-		t.pendingEv = nil
-		m.startBody(c, t)
-	})
+	m.schedule(t, m.cfg.DequeueCost, pendStart, 0)
 }
 
 func (m *Machine) startBody(c *cpu, t *task) {
@@ -449,18 +682,12 @@ func (m *Machine) handleOp(c *cpu, t *task, op guest.Op) {
 	switch op.Kind {
 	case guest.OpWork:
 		m.busy(c, t, op.N)
-		t.pendingEv = m.eng.After(op.N, func() {
-			t.pendingEv = nil
-			m.resumeTask(c, t, guest.Result{})
-		})
+		m.schedule(t, op.N, pendResume, 0)
 
 	case guest.OpLoad, guest.OpStore:
 		lat, val := m.access(c, t, op)
 		m.busy(c, t, lat)
-		t.pendingEv = m.eng.After(lat, func() {
-			t.pendingEv = nil
-			m.resumeTask(c, t, guest.Result{Val: val})
-		})
+		m.schedule(t, lat, pendResume, val)
 
 	case guest.OpEnqueue:
 		m.enqueueOp(c, t, op.Task, 0)
@@ -468,26 +695,17 @@ func (m *Machine) handleOp(c *cpu, t *task, op guest.Op) {
 	case guest.OpAlloc:
 		addr := m.heap.Alloc(op.N)
 		m.busy(c, t, mem.AllocCycles)
-		t.pendingEv = m.eng.After(mem.AllocCycles, func() {
-			t.pendingEv = nil
-			m.resumeTask(c, t, guest.Result{Val: addr})
-		})
+		m.schedule(t, mem.AllocCycles, pendResume, addr)
 
 	case guest.OpFree:
 		m.heap.Free(t.allocToken, op.Addr, op.N)
 		m.busy(c, t, mem.AllocCycles)
-		t.pendingEv = m.eng.After(mem.AllocCycles, func() {
-			t.pendingEv = nil
-			m.resumeTask(c, t, guest.Result{})
-		})
+		m.schedule(t, mem.AllocCycles, pendResume, 0)
 
 	case guest.OpDone:
-		t.co = nil
+		m.releaseCoroutine(t)
 		m.busy(c, t, m.cfg.FinishCost)
-		t.pendingEv = m.eng.After(m.cfg.FinishCost, func() {
-			t.pendingEv = nil
-			m.tryFinish(c, t)
-		})
+		m.schedule(t, m.cfg.FinishCost, pendFinish, 0)
 
 	default:
 		panic(fmt.Sprintf("core: unsupported op %v on a Swarm machine", op.Kind))
@@ -537,21 +755,15 @@ func (m *Machine) enqueueOp(c *cpu, t *task, d guest.TaskDesc, attempt int) {
 		}
 		if t.state == taskRunning { // insertIdle policies may have squashed t
 			t.inBackoff = true
-			t.pendingEv = m.eng.After(backoff, func() {
-				t.pendingEv = nil
-				if t.state == taskRunning {
-					m.enqueueOp(c, t, d, attempt+1)
-				}
-			})
+			t.pendDesc = d
+			t.pendAttempt = attempt + 1
+			m.schedule(t, backoff, pendEnqRetry, 0)
 		}
 		return
 	}
 
 	if t.state == taskRunning { // a full-queue policy may have aborted t
-		t.pendingEv = m.eng.After(m.cfg.EnqueueCost, func() {
-			t.pendingEv = nil
-			m.resumeTask(c, t, guest.Result{OK: true})
-		})
+		m.schedule(t, m.cfg.EnqueueCost, pendResumeOK, 0)
 	}
 }
 
@@ -559,11 +771,13 @@ func (m *Machine) enqueueOp(c *cpu, t *task, d guest.TaskDesc, attempt int) {
 // §4.7 commit-queue policy when it is full.
 func (m *Machine) tryFinish(c *cpu, t *task) {
 	tt := m.tiles[t.tile]
-	if !m.cfg.UnboundedQueues && len(tt.commitQ) >= m.cfg.CommitQPerTile() {
+	if !m.cfg.UnboundedQueues && tt.commitQ.Len() >= m.cfg.CommitQPerTile() {
 		// If t precedes the highest-VT finished task, abort that task
 		// and take its entry; otherwise stall the core until one frees.
+		// The heap only knows its minimum, so the max is a linear scan —
+		// this path runs only when the commit queue is full.
 		var maxF *task
-		for _, f := range tt.commitQ {
+		for _, f := range tt.commitQ.s {
 			if maxF == nil || maxF.vt.Less(f.vt) {
 				maxF = f
 			}
@@ -573,12 +787,14 @@ func (m *Machine) tryFinish(c *cpu, t *task) {
 			m.abortTask(maxF, false)
 		} else {
 			t.state = taskFinishing
-			tt.finishWait = append(tt.finishWait, t)
+			t.qSeq = m.nextQSeq()
+			tt.finishWait.Push(t)
 			return // core stays held; commit/abort will free it
 		}
 	}
 	t.state = taskFinished
-	tt.commitQ = append(tt.commitQ, t)
+	t.qSeq = m.nextQSeq()
+	tt.commitQ.Push(t)
 	m.releaseCore(c, t)
 }
 
@@ -591,27 +807,14 @@ func (m *Machine) releaseCore(c *cpu, t *task) {
 // promoteFinishWaiters grants freed commit queue entries to stalled
 // finished tasks in virtual-time order.
 func (m *Machine) promoteFinishWaiters(tt *tile) {
-	for len(tt.finishWait) > 0 &&
-		(m.cfg.UnboundedQueues || len(tt.commitQ) < m.cfg.CommitQPerTile()) {
-		minI := 0
-		for i, w := range tt.finishWait {
-			if w.vt.Less(tt.finishWait[minI].vt) {
-				minI = i
-			}
-		}
-		w := tt.finishWait[minI]
-		tt.finishWait = append(tt.finishWait[:minI], tt.finishWait[minI+1:]...)
+	for tt.finishWait.Len() > 0 &&
+		(m.cfg.UnboundedQueues || tt.commitQ.Len() < m.cfg.CommitQPerTile()) {
+		w := tt.finishWait.PopMin()
 		w.state = taskFinished
-		tt.commitQ = append(tt.commitQ, w)
+		w.qSeq = m.nextQSeq()
+		tt.commitQ.Push(w)
 		m.releaseCore(m.cores[w.core], w)
 	}
 }
 
-func removeTask(s []*task, t *task) []*task {
-	for i, x := range s {
-		if x == t {
-			return append(s[:i], s[i+1:]...)
-		}
-	}
-	return s
-}
+func (m *Machine) nextQSeq() uint64 { m.qSeqCtr++; return m.qSeqCtr }

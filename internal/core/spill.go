@@ -15,6 +15,14 @@ import (
 // batch minimum) that re-enqueues them later. This gives programs the
 // illusion of unbounded hardware task queues.
 
+// spillBatch is one coalesced batch in memory: the spilled descriptors plus
+// the tile that owns them (the splitter's home), which GVT bound
+// construction needs (assertCommitOrder ties break on the owning tile).
+type spillBatch struct {
+	tile  int
+	descs []guest.TaskDesc
+}
+
 // checkSpillTrigger arms the coalescer when occupancy crosses the
 // threshold (Table 3: 75%).
 func (m *Machine) checkSpillTrigger(tt *tile) {
@@ -87,7 +95,7 @@ func (m *Machine) runCoalescer(c *cpu) bool {
 	// the GVT never passes the spilled work.
 	m.batchCtr++
 	id := m.batchCtr
-	m.spillStore[id] = descs
+	m.spillStore[id] = spillBatch{tile: tt.id, descs: descs}
 	sp := m.newTask(guest.TaskDesc{Fn: 0, TS: batchMinTS}, tt.id, nil)
 	sp.kind = kindSplitter
 	sp.batch = id
@@ -112,6 +120,7 @@ func (m *Machine) freeSlotNoDrain(t *task) {
 	m.putFilter(t.rs)
 	m.putFilter(t.ws)
 	t.rs, t.ws = nil, nil
+	m.graveTask(t)
 }
 
 // runSplitter re-enqueues a spilled batch into the local task queue. Any
@@ -121,7 +130,7 @@ func (m *Machine) freeSlotNoDrain(t *task) {
 // starve real work.
 func (m *Machine) runSplitter(c *cpu, t *task) {
 	tt := m.tiles[t.tile]
-	batch := m.spillStore[t.batch]
+	batch := m.spillStore[t.batch].descs
 	delete(m.spillStore, t.batch)
 
 	cycles := m.cfg.SpillCyclesPerTask * uint64(len(batch)+1)

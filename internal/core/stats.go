@@ -26,6 +26,10 @@ type Stats struct {
 	Cores  int
 	Tiles  int
 
+	// Events is the number of discrete events the simulation engine fired:
+	// the host-side work metric (events/sec is the simulator's throughput).
+	Events uint64
+
 	// Task events.
 	Commits      uint64
 	Aborts       uint64
@@ -76,6 +80,7 @@ func (s Stats) TrafficGBps(class noc.Class) float64 {
 func (m *Machine) collectStats() Stats {
 	s := Stats{
 		Cycles:       m.eng.Now(),
+		Events:       m.eng.Fired(),
 		Cores:        m.cfg.Cores(),
 		Tiles:        m.cfg.Tiles,
 		Commits:      m.st.commits,
@@ -173,7 +178,7 @@ func (tr *tracer) sample() {
 			Spill:   dsp,
 			Stall:   stall,
 			TaskQ:   tt.nTasks,
-			CommitQ: len(tt.commitQ),
+			CommitQ: tt.commitQ.Len(),
 			Commits: tt.commitsCount - tr.prevCommits[i],
 			Aborts:  tt.abortsCount - tr.prevAborts[i],
 		}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/swarm-sim/swarm/internal/bloom"
+	"github.com/swarm-sim/swarm/internal/guest"
+)
+
+// TestCycleBreakdownSumsExactly runs abort- and spill-heavy workloads with
+// DebugChecks on and requires the Fig 14 breakdown to account for every
+// core cycle exactly: committed + aborted + spill + stall == cycles x
+// cores. Mis-attribution (e.g. ranCore falling back to the wrong core, or
+// a refund missing on an abort) would show up as a clamped-to-zero stall
+// or a sum mismatch.
+func TestCycleBreakdownSumsExactly(t *testing.T) {
+	progs := map[string]func() *Program{
+		"conflict-heavy": func() *Program {
+			var counter uint64
+			return &Program{
+				Fns: []guest.TaskFn{
+					func(e guest.TaskEnv) {
+						e.Store(counter, e.Load(counter)+1)
+					},
+				},
+				Setup: func(m *Machine) {
+					counter = m.SetupAlloc(8)
+					for i := 0; i < 150; i++ {
+						m.EnqueueRoot(0, uint64(i))
+					}
+				},
+			}
+		},
+		"spill-heavy": func() *Program {
+			var out uint64
+			return &Program{
+				Fns: []guest.TaskFn{
+					func(e guest.TaskEnv) {
+						lo, hi := e.Arg(0), e.Arg(1)
+						if hi-lo <= 7 {
+							for j := lo; j < hi; j++ {
+								e.EnqueueArgs(1, 1+j, [3]uint64{j})
+							}
+							return
+						}
+						chunk := (hi - lo + 7) / 8
+						for s := lo; s < hi; s += chunk {
+							end := min(s+chunk, hi)
+							e.EnqueueArgs(0, e.Timestamp(), [3]uint64{s, end})
+						}
+					},
+					func(e guest.TaskEnv) { e.Store(out+e.Arg(0)*8, 1) },
+				},
+				Setup: func(m *Machine) {
+					out = m.SetupAlloc(8 * 1000)
+					m.EnqueueRoot(0, 0, 0, 1000)
+				},
+			}
+		},
+	}
+	for name, build := range progs {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) {
+			for _, cores := range []int{4, 16} {
+				cfg := DefaultConfig(cores)
+				cfg.DebugChecks = true
+				cfg.Bloom = bloom.Config{Bits: 256, Ways: 4} // extra false-positive aborts
+				st, _ := runProgram(t, cfg, build())
+				sum := st.CommittedCycles + st.AbortedCycles + st.SpillCycles + st.StallCycles
+				if sum != st.TotalCoreCycles() {
+					t.Fatalf("%dc: breakdown %d+%d+%d+%d = %d != %d total core cycles",
+						cores, st.CommittedCycles, st.AbortedCycles, st.SpillCycles, st.StallCycles,
+						sum, st.TotalCoreCycles())
+				}
+				if busy := st.CommittedCycles + st.AbortedCycles + st.SpillCycles; busy > st.TotalCoreCycles() {
+					t.Fatalf("%dc: busy cycles %d exceed wall %d (stall clamped)", cores, busy, st.TotalCoreCycles())
+				}
+			}
+		})
+	}
+}

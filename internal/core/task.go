@@ -40,6 +40,19 @@ type undoRec struct {
 	old  uint64
 }
 
+// pendKind tells the task's pre-bound event callback (taskEvent) what the
+// scheduled event means. The machine schedules every per-task event through
+// task.evFn instead of a fresh closure, so the hot path allocates nothing.
+type pendKind uint8
+
+const (
+	pendStart    pendKind = iota // dequeue delay elapsed: start the body
+	pendResume                   // resume the guest with Result{Val: pendVal}
+	pendResumeOK                 // resume the guest with Result{OK: true}
+	pendFinish                   // finish delay elapsed: move to commit queue
+	pendEnqRetry                 // enqueue-NACK backoff expired: retry pendDesc
+)
+
 // vt0 is the zero virtual time (undispatched).
 var vt0 vt.Time
 
@@ -68,12 +81,32 @@ type task struct {
 	pendingEv *sim.Event
 	inBackoff bool // parked in an enqueue-NACK retry loop
 
+	// Pre-bound event callback plus the pending-event payload it decodes;
+	// see pendKind. evFn is built once in newTask and reused for every
+	// event the task schedules.
+	evFn        func()
+	pend        pendKind
+	pendVal     uint64
+	pendDesc    guest.TaskDesc
+	pendAttempt int
+
 	// splitter payload: id of the spilled batch in Machine.spillStore.
 	batch uint64
 
 	allocToken uint64
 
-	heapIdx int // position in the tile's order queue, -1 when not idle
+	heapIdx int    // position in the tile's order queue, -1 when not idle
+	cqIdx   int    // position in the tile's commitQ or finishWait heap, -1 otherwise
+	qSeq    uint64 // order of entry into that queue (conflict-probe order)
+
+	// Way-0 index state: the tile slot id held while dispatched, and the
+	// way-0 bit indexes this task's signature inserts set (so releaseSlot
+	// can clear exactly those bitmap bits).
+	slot    int32
+	ws0Bits []uint32
+	rs0Bits []uint32
+
+	graveEv uint64 // engine event count when the task was freed (recycling age)
 }
 
 // spec reports whether the task runs speculatively. Splitters (and the
@@ -88,7 +121,7 @@ func (t *task) boundVT(now uint64) vt.Time {
 	if t.state != taskIdle {
 		return t.vt
 	}
-	return vt.Time{TS: t.desc.TS, Cycle: now, Tile: uint32(t.tile)}
+	return descBoundVT(t.desc.TS, now, t.tile)
 }
 
 // orderQueue is the tile's order queue (§4.2): it finds the highest-priority
@@ -131,6 +164,101 @@ func (h *descHeap) Pop() any {
 	d := old[n-1]
 	*h = old[:n-1]
 	return d
+}
+
+// vtHeap is an intrusive min-heap of tasks keyed by unique virtual time:
+// the tile's commit queue and finish-wait set (§4.2, §4.6). Tasks track
+// their position in cqIdx, so removal on abort is O(log n) instead of the
+// old linear slice scan, and the commit round pops ready tasks in virtual-
+// time order instead of rescanning and re-sorting every queue. Virtual
+// times are unique (§4.4), so the order is total and deterministic.
+//
+// The backing slice s is exported to callers that probe every element
+// (conflict checks, max scans); heap order is not insertion order, so
+// order-sensitive callers must re-establish it themselves (checkTile sorts
+// probe victims by qSeq).
+type vtHeap struct {
+	s []*task
+}
+
+func (h *vtHeap) Len() int { return len(h.s) }
+
+// Min returns the earliest-virtual-time task without removing it.
+func (h *vtHeap) Min() *task {
+	if len(h.s) == 0 {
+		return nil
+	}
+	return h.s[0]
+}
+
+func (h *vtHeap) Push(t *task) {
+	t.cqIdx = len(h.s)
+	h.s = append(h.s, t)
+	h.up(t.cqIdx)
+}
+
+// Remove detaches t from the heap; t must be a member.
+func (h *vtHeap) Remove(t *task) {
+	i := t.cqIdx
+	if i < 0 || i >= len(h.s) || h.s[i] != t {
+		panic("core: removing a task from a commit queue it is not in")
+	}
+	n := len(h.s) - 1
+	if i != n {
+		h.swap(i, n)
+	}
+	h.s[n] = nil
+	h.s = h.s[:n]
+	if i < n {
+		h.down(i)
+		h.up(i)
+	}
+	t.cqIdx = -1
+}
+
+// PopMin removes and returns the earliest-virtual-time task.
+func (h *vtHeap) PopMin() *task {
+	t := h.s[0]
+	h.Remove(t)
+	return t
+}
+
+func (h *vtHeap) less(i, j int) bool { return h.s[i].vt.Less(h.s[j].vt) }
+
+func (h *vtHeap) swap(i, j int) {
+	h.s[i], h.s[j] = h.s[j], h.s[i]
+	h.s[i].cqIdx = i
+	h.s[j].cqIdx = j
+}
+
+func (h *vtHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *vtHeap) down(i int) {
+	n := len(h.s)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		small := l
+		if r := l + 1; r < n && h.less(r, l) {
+			small = r
+		}
+		if !h.less(small, i) {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
 }
 
 type taskHeap []*task

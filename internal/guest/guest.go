@@ -15,7 +15,11 @@
 // remain sequential and deterministic.
 package guest
 
-import "fmt"
+import (
+	"fmt"
+	"iter"
+	"sync"
+)
 
 // OpKind discriminates guest operations.
 type OpKind int
@@ -97,6 +101,11 @@ type TaskEnv interface {
 	Arg(i int) uint64
 	// Enqueue creates a child task with an equal or later timestamp.
 	Enqueue(fn int, ts uint64, args ...uint64)
+	// EnqueueArgs is Enqueue with a fixed argument array. Variadic calls
+	// through the TaskEnv interface heap-allocate their argument slice (the
+	// compiler cannot prove the callee drops it), so per-edge enqueue loops
+	// use this form; unused argument words are zero.
+	EnqueueArgs(fn int, ts uint64, args [3]uint64)
 }
 
 // ThreadEnv is the environment visible to a software-baseline thread.
@@ -121,46 +130,134 @@ type ThreadFn func(ThreadEnv)
 // abortSignal unwinds a guest goroutine when its task is squashed.
 type abortSignal struct{}
 
-// Coroutine runs one guest on a dedicated goroutine, exchanging exactly one
-// (Result, Op) pair per Resume call.
+// Coroutine runs one guest body with a strict one-(Result, Op)-pair-per-
+// Resume rendezvous. The transport is iter.Pull: the runtime switches
+// stacks directly (no scheduler, no channels, no locks), which is an order
+// of magnitude cheaper per surrendered operation than a goroutine
+// rendezvous and keeps the whole simulation on one OS thread.
+//
+// Task coroutines are pooled: the pulled iterator survives its task body
+// and parks until a later StartTask hands it the next one (tasks are tiny
+// and every re-execution after an abort restarts the body, so per-start
+// coroutine and environment allocations dominated the machine's host-side
+// cost). Thread coroutines (StartThread) live exactly as long as their
+// body.
 type Coroutine struct {
-	ops  chan Op
-	res  chan Result
-	done bool
+	next    func() (Op, bool)
+	stop    func()
+	yieldFn func(Op) bool // set by the sequence body on first entry
+
+	// res carries the simulator's reply into the guest: Resume writes it,
+	// then switches to the guest, which reads it on return from yield.
+	res Result
+
+	// job carries the next task body into a pooled coroutine: StartTask
+	// writes it before the first Resume switches in.
+	job    taskJob
+	pooled bool
+	env    coTaskEnv // reusable task environment (pooled coroutines only)
+	done   bool
 }
 
-// start launches body; the goroutine blocks until the first Resume.
-func start(body func(transport *Coroutine)) *Coroutine {
-	co := &Coroutine{ops: make(chan Op), res: make(chan Result)}
-	go func() {
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(abortSignal); ok {
-					co.ops <- Op{Kind: OpAborted}
-					return
-				}
-				panic(r)
-			}
-		}()
-		<-co.res // wait for the initial Resume
-		body(co)
-		co.ops <- Op{Kind: OpDone}
-	}()
+// taskJob is one task body handed to a pooled coroutine.
+type taskJob struct {
+	fn   TaskFn
+	desc TaskDesc
+}
+
+// taskPool parks idle task coroutines. It is shared by every machine in
+// the process (the experiment harness runs many concurrently), so access
+// is mutex-guarded; within one machine everything is single-threaded.
+var taskPool struct {
+	sync.Mutex
+	free []*Coroutine
+}
+
+// StartTask hands a Swarm task body to a pooled coroutine (reusing a
+// parked one when available); the body starts running at the first Resume.
+func StartTask(fn TaskFn, desc TaskDesc) *Coroutine {
+	taskPool.Lock()
+	var co *Coroutine
+	if n := len(taskPool.free); n > 0 {
+		co = taskPool.free[n-1]
+		taskPool.free[n-1] = nil
+		taskPool.free = taskPool.free[:n-1]
+	}
+	taskPool.Unlock()
+	if co == nil {
+		co = &Coroutine{pooled: true}
+		co.env = coTaskEnv{coEnv{co: co}, TaskDesc{}}
+		co.next, co.stop = iter.Pull(co.taskSeq)
+	}
+	co.done = false
+	co.job = taskJob{fn, desc}
 	return co
 }
 
-// StartTask launches a coroutine running a Swarm task body.
-func StartTask(fn TaskFn, desc TaskDesc) *Coroutine {
-	return start(func(co *Coroutine) {
-		fn(&coTaskEnv{coEnv{co: co}, desc})
-	})
+// taskSeq is a pooled coroutine's op stream: an endless loop of task
+// bodies, one OpDone/OpAborted per body, parking between bodies simply by
+// returning from yield into the next loop iteration.
+func (co *Coroutine) taskSeq(yield func(Op) bool) {
+	co.yieldFn = yield
+	for {
+		j := co.job
+		co.env.desc = j.desc
+		if runGuest(func() { j.fn(&co.env) }) {
+			if !yield(Op{Kind: OpAborted}) {
+				return
+			}
+		} else if !yield(Op{Kind: OpDone}) {
+			return
+		}
+	}
+}
+
+// runGuest executes a guest body, converting an abort unwind into a
+// boolean. Any other panic propagates.
+func runGuest(body func()) (aborted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSignal); ok {
+				aborted = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	body()
+	return false
+}
+
+// Recycle parks a completed task coroutine for reuse by a later StartTask.
+// It is a no-op for thread coroutines and for coroutines that have not
+// finished (a machine torn down mid-run keeps them; the GC collects
+// unreferenced pulled iterators).
+func (co *Coroutine) Recycle() {
+	if !co.pooled || !co.done {
+		return
+	}
+	// Drop the finished body's closure so a parked coroutine does not keep
+	// its machine's guest state reachable for the process lifetime.
+	co.job = taskJob{}
+	co.env.desc = TaskDesc{}
+	taskPool.Lock()
+	taskPool.free = append(taskPool.free, co)
+	taskPool.Unlock()
 }
 
 // StartThread launches a coroutine running a baseline thread body.
 func StartThread(fn ThreadFn, id, threads int) *Coroutine {
-	return start(func(co *Coroutine) {
-		fn(&coThreadEnv{coEnv{co: co}, id, threads})
+	co := &Coroutine{}
+	env := &coThreadEnv{coEnv{co: co}, id, threads}
+	co.next, co.stop = iter.Pull(func(yield func(Op) bool) {
+		co.yieldFn = yield
+		if runGuest(func() { fn(env) }) {
+			yield(Op{Kind: OpAborted})
+			return
+		}
+		yield(Op{Kind: OpDone})
 	})
+	return co
 }
 
 // Resume delivers a result to the guest and returns its next operation.
@@ -169,8 +266,11 @@ func (co *Coroutine) Resume(r Result) Op {
 	if co.done {
 		panic("guest: Resume after completion")
 	}
-	co.res <- r
-	op := <-co.ops
+	co.res = r
+	op, ok := co.next()
+	if !ok {
+		panic("guest: coroutine terminated without yielding")
+	}
 	if op.Kind == OpDone || op.Kind == OpAborted {
 		co.done = true
 	}
@@ -184,8 +284,11 @@ func (co *Coroutine) Done() bool { return co.done }
 type coEnv struct{ co *Coroutine }
 
 func (e *coEnv) exec(op Op) Result {
-	e.co.ops <- op
-	r := <-e.co.res
+	if !e.co.yieldFn(op) {
+		// The puller was stopped: unwind the guest.
+		panic(abortSignal{})
+	}
+	r := e.co.res
 	if r.Abort {
 		panic(abortSignal{})
 	}
@@ -210,15 +313,19 @@ type coTaskEnv struct {
 func (e *coTaskEnv) Timestamp() uint64 { return e.desc.TS }
 func (e *coTaskEnv) Arg(i int) uint64  { return e.desc.Args[i] }
 func (e *coTaskEnv) Enqueue(fn int, ts uint64, args ...uint64) {
+	var a [3]uint64
+	if len(args) > len(a) {
+		panic("guest: task descriptors hold at most 3 argument words; allocate memory for more (§4.1)")
+	}
+	copy(a[:], args)
+	e.EnqueueArgs(fn, ts, a)
+}
+
+func (e *coTaskEnv) EnqueueArgs(fn int, ts uint64, args [3]uint64) {
 	if ts < e.desc.TS {
 		panic(fmt.Sprintf("guest: child timestamp %d before parent %d", ts, e.desc.TS))
 	}
-	d := TaskDesc{Fn: fn, TS: ts}
-	if len(args) > len(d.Args) {
-		panic("guest: task descriptors hold at most 3 argument words; allocate memory for more (§4.1)")
-	}
-	copy(d.Args[:], args)
-	e.exec(Op{Kind: OpEnqueue, Task: d})
+	e.exec(Op{Kind: OpEnqueue, Task: TaskDesc{Fn: fn, TS: ts, Args: args}})
 }
 
 type coThreadEnv struct {

@@ -37,13 +37,16 @@ func WriteBreakdownCSV(w io.Writer, results []ScalingResult) error {
 		return err
 	}
 	for _, r := range results {
+		if len(r.Points) == 0 {
+			continue
+		}
 		base := float64(r.Points[0].Stats.TotalCoreCycles())
 		for _, p := range r.Points {
 			st := p.Stats
 			if _, err := fmt.Fprintf(w, "%s,%d,%.4f,%.4f,%.4f,%.4f\n",
 				r.App, p.Cores,
-				float64(st.CommittedCycles)/base, float64(st.AbortedCycles)/base,
-				float64(st.SpillCycles)/base, float64(st.StallCycles)/base); err != nil {
+				ratio(float64(st.CommittedCycles), base), ratio(float64(st.AbortedCycles), base),
+				ratio(float64(st.SpillCycles), base), ratio(float64(st.StallCycles), base)); err != nil {
 				return err
 			}
 		}
@@ -57,6 +60,9 @@ func WriteTrafficCSV(w io.Writer, results []ScalingResult) error {
 		return err
 	}
 	for _, r := range results {
+		if len(r.Points) == 0 {
+			continue
+		}
 		st := r.Points[len(r.Points)-1].Stats
 		if _, err := fmt.Fprintf(w, "%s,%.4f,%.4f,%.4f,%.4f\n", r.App,
 			st.TrafficGBps(noc.ClassMem), st.TrafficGBps(noc.ClassEnqueue),

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/swarm-sim/swarm/internal/bench"
+	"github.com/swarm-sim/swarm/internal/core"
 )
 
 func TestCSVExports(t *testing.T) {
@@ -63,5 +64,53 @@ func TestCSVExports(t *testing.T) {
 	}
 	if got, want := len(strings.Split(strings.TrimSpace(buf.String()), "\n")), 1+len(bench.AppNames()); got != want {
 		t.Fatalf("table1 csv has %d rows, want header + %d registered apps", got, want-1)
+	}
+}
+
+// TestCSVNoNaNOnEmptyApp runs an app whose Setup enqueues nothing — the
+// measured region is empty and the serial/parallel baselines report zero
+// cycles — and requires every exporter to emit finite numbers: a zero
+// denominator must become 0 in the CSV, never NaN or Inf.
+func TestCSVNoNaNOnEmptyApp(t *testing.T) {
+	m, err := core.NewMachine(core.DefaultConfig(4), &core.Program{Setup: func(m *core.Machine) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Commits != 0 {
+		t.Fatalf("empty app committed %d tasks", st.Commits)
+	}
+
+	// One real (empty) run plus a fully zeroed degenerate point, covering
+	// both the zero-serial and zero-total-cycle denominators; a pointless
+	// result covers the zero-points case.
+	results := []ScalingResult{
+		{
+			App: "empty",
+			Points: []ScalingPoint{
+				{Cores: 4, SwarmCycles: st.Cycles, SerialCycles: 0, ParallelCycles: 0, Stats: st},
+				{Cores: 8, SwarmCycles: 0, SerialCycles: 0, ParallelCycles: 0, Stats: core.Stats{}},
+			},
+		},
+		{App: "pointless"},
+	}
+
+	var buf bytes.Buffer
+	for name, write := range map[string]func() error{
+		"scaling":   func() error { return WriteScalingCSV(&buf, results) },
+		"breakdown": func() error { return WriteBreakdownCSV(&buf, results) },
+		"traffic":   func() error { return WriteTrafficCSV(&buf, results) },
+	} {
+		buf.Reset()
+		if err := write(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out := buf.String()
+		if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+			t.Fatalf("%s csv emitted NaN/Inf for an empty app:\n%s", name, out)
+		}
 	}
 }

@@ -113,6 +113,16 @@ func gmean(vals []float64) float64 {
 	return math.Exp(s / float64(len(vals)))
 }
 
+// ratio divides two cycle counts, mapping a zero denominator to 0 instead
+// of NaN/Inf: degenerate runs (an app whose measured region is empty) must
+// emit well-formed numbers into every CSV and table.
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
 // ---------------------------------------------------------------- Table 1 --
 
 // Table1Row is one application's column in Table 1.
@@ -172,12 +182,12 @@ type ScalingResult struct {
 // SelfRelative returns Fig 11's series: speedup over 1-core Swarm.
 func (r ScalingResult) SelfRelative() []float64 {
 	out := make([]float64, len(r.Points))
-	base := float64(r.Points[0].SwarmCycles)
-	if r.Points[0].Cores != 1 {
-		base = float64(r.Points[0].SwarmCycles) // first point is the base
+	if len(r.Points) == 0 {
+		return out
 	}
+	base := float64(r.Points[0].SwarmCycles) // first point is the base
 	for i, p := range r.Points {
-		out[i] = base / float64(p.SwarmCycles)
+		out[i] = ratio(base, float64(p.SwarmCycles))
 	}
 	return out
 }
@@ -187,7 +197,7 @@ func (r ScalingResult) SelfRelative() []float64 {
 func (r ScalingResult) VsSerial() []float64 {
 	out := make([]float64, len(r.Points))
 	for i, p := range r.Points {
-		out[i] = float64(p.SerialCycles) / float64(p.SwarmCycles)
+		out[i] = ratio(float64(p.SerialCycles), float64(p.SwarmCycles))
 	}
 	return out
 }
@@ -197,7 +207,7 @@ func (r ScalingResult) ParallelVsSerial() []float64 {
 	out := make([]float64, len(r.Points))
 	for i, p := range r.Points {
 		if p.ParallelCycles > 0 {
-			out[i] = float64(p.SerialCycles) / float64(p.ParallelCycles)
+			out[i] = ratio(float64(p.SerialCycles), float64(p.ParallelCycles))
 		}
 	}
 	return out
@@ -302,8 +312,8 @@ func (s *Suite) Fig13(warehouses []int, cores, txns int) ([]SiloWarehousePoint, 
 			}
 			out[i] = SiloWarehousePoint{
 				Warehouses:      warehouses[i],
-				SwarmSpeedup:    float64(serial) / float64(st.Cycles),
-				ParallelSpeedup: float64(serial) / float64(par),
+				SwarmSpeedup:    ratio(float64(serial), float64(st.Cycles)),
+				ParallelSpeedup: ratio(float64(serial), float64(par)),
 			}
 			return nil
 		})
@@ -376,9 +386,9 @@ func (s *Suite) Table5(maxCores int) ([]Table5Row, error) {
 		for bi := range s.Benchmarks {
 			c := cells[vi*nb+bi]
 			b1 := float64(cells[bi].cycles1) // variant 0 = baseline
-			sp1 = append(sp1, b1/float64(c.cycles1))
-			spN = append(spN, b1/float64(c.cyclesN))
-			spSelf = append(spSelf, float64(c.cycles1)/float64(c.cyclesN))
+			sp1 = append(sp1, ratio(b1, float64(c.cycles1)))
+			spN = append(spN, ratio(b1, float64(c.cyclesN)))
+			spSelf = append(spSelf, ratio(float64(c.cycles1), float64(c.cyclesN)))
 		}
 		rows = append(rows, Table5Row{
 			Config:       v.name,
@@ -446,7 +456,7 @@ func (s *Suite) sweep(cores int, variants []sweepVariant) ([]SweepPoint, error) 
 		pt := SweepPoint{Label: v.label}
 		for bi, b := range s.Benchmarks {
 			base, _ := s.defaultRun(b, cores) // cached above
-			pt.Perf = append(pt.Perf, float64(base.Cycles)/float64(cycles[vi*nb+bi]))
+			pt.Perf = append(pt.Perf, ratio(float64(base.Cycles), float64(cycles[vi*nb+bi])))
 		}
 		out[vi] = pt
 	}
@@ -531,7 +541,7 @@ func (s *Suite) CanaryStudy(cores int) (checkReduction, gmeanSpeedup float64, er
 			if err != nil {
 				return err
 			}
-			c := cell{sp: float64(st.Cycles) / float64(stP.Cycles)}
+			c := cell{sp: ratio(float64(st.Cycles), float64(stP.Cycles))}
 			if g := float64(st.Cache.GlobalChecks); g > 0 {
 				c.red = 1 - float64(stP.Cache.GlobalChecks)/g
 				c.hasRed = true
@@ -553,7 +563,7 @@ func (s *Suite) CanaryStudy(cores int) (checkReduction, gmeanSpeedup float64, er
 	for _, r := range reds {
 		sum += r
 	}
-	return sum / float64(len(reds)), gmean(sps), nil
+	return ratio(sum, float64(len(reds))), gmean(sps), nil
 }
 
 // Fig18 runs the Fig 18 case study (the app tagged "fig18" in the

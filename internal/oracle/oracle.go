@@ -133,11 +133,16 @@ func (p *profEnv) Arg(i int) uint64 { return p.desc.Args[i] }
 
 // Enqueue implements guest.TaskEnv.
 func (p *profEnv) Enqueue(fn int, ts uint64, args ...uint64) {
+	var a [3]uint64
+	copy(a[:], args)
+	p.EnqueueArgs(fn, ts, a)
+}
+
+// EnqueueArgs implements guest.TaskEnv.
+func (p *profEnv) EnqueueArgs(fn int, ts uint64, args [3]uint64) {
 	p.instrs++
-	d := guest.TaskDesc{Fn: fn, TS: ts}
-	copy(d.Args[:], args)
 	p.seq++
-	heap.Push(&p.queue, profItem{desc: d, seq: p.seq, parent: p.curIdx})
+	heap.Push(&p.queue, profItem{desc: guest.TaskDesc{Fn: fn, TS: ts, Args: args}, seq: p.seq, parent: p.curIdx})
 }
 
 func setOf(m map[uint64]struct{}) []uint64 {

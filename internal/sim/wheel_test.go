@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refQueue is the old container/heap event queue, kept as the ordering
+// oracle: the timing wheel must fire any schedule in exactly the same
+// (cycle, seq) order.
+type refEvent struct {
+	cycle, seq uint64
+	cancelled  bool
+}
+
+type refQueue []*refEvent
+
+func (q refQueue) Len() int { return len(q) }
+func (q refQueue) Less(i, j int) bool {
+	if q[i].cycle != q[j].cycle {
+		return q[i].cycle < q[j].cycle
+	}
+	return q[i].seq < q[j].seq
+}
+func (q refQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *refQueue) Push(x any)   { *q = append(*q, x.(*refEvent)) }
+func (q *refQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// TestWheelMatchesHeapOrder drives the wheel and the reference heap through
+// an adversarial schedule — same-cycle bursts, far-future jumps past the
+// wheel window, nested rescheduling, and cancel storms mirroring the
+// machine's abort behaviour — and requires identical firing order.
+func TestWheelMatchesHeapOrder(t *testing.T) {
+	for trial := int64(0); trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(1000 + trial))
+		var e Engine
+		ref := &refQueue{}
+
+		var fireOrder []uint64 // seq of fired events, in firing order
+		var wantOrder []uint64
+
+		type pending struct {
+			ev  *Event
+			ref *refEvent
+		}
+		var live []pending
+
+		schedule := func(delay uint64) {
+			re := &refEvent{seq: e.seq}
+			var ev *Event
+			ev = e.After(delay, func() {
+				fireOrder = append(fireOrder, re.seq)
+				// Drop from live so cancel storms only target pending events.
+				for i := range live {
+					if live[i].ev == ev {
+						live[i] = live[len(live)-1]
+						live = live[:len(live)-1]
+						break
+					}
+				}
+			})
+			re.cycle = ev.Cycle()
+			heap.Push(ref, re)
+			live = append(live, pending{ev, re})
+		}
+
+		// Seed: bursts at the same cycle, plus far-future jumps well past
+		// the wheel window.
+		for i := 0; i < 40; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				schedule(uint64(rng.Intn(4))) // same/near-cycle burst
+			case 1:
+				schedule(uint64(rng.Intn(wheelSize)))
+			case 2:
+				schedule(uint64(wheelSize + rng.Intn(20*wheelSize))) // far future
+			}
+		}
+
+		// Fire everything; each fired event randomly reschedules and
+		// randomly cancels a batch of pending events (an abort storm).
+		steps := 0
+		for e.Pending() > 0 {
+			// Mirror one firing in the reference queue: pop the smallest
+			// non-cancelled event.
+			for ref.Len() > 0 {
+				re := heap.Pop(ref).(*refEvent)
+				if !re.cancelled {
+					wantOrder = append(wantOrder, re.seq)
+					break
+				}
+			}
+			if !e.Step() {
+				t.Fatalf("trial %d: Step returned false with %d pending", trial, e.Pending())
+			}
+			steps++
+			if steps > 100000 {
+				t.Fatal("runaway schedule")
+			}
+			if steps < 3000 {
+				for n := rng.Intn(3); n > 0; n-- {
+					switch rng.Intn(4) {
+					case 0:
+						schedule(uint64(rng.Intn(3)))
+					case 1:
+						schedule(uint64(rng.Intn(wheelSize * 2)))
+					case 2:
+						schedule(uint64(wheelSize*4 + rng.Intn(50*wheelSize)))
+					case 3: // cancel storm
+						for k := rng.Intn(4); k > 0 && len(live) > 0; k-- {
+							i := rng.Intn(len(live))
+							live[i].ev.Cancel()
+							live[i].ref.cancelled = true
+							live[i] = live[len(live)-1]
+							live = live[:len(live)-1]
+						}
+					}
+				}
+			}
+		}
+
+		if len(fireOrder) != len(wantOrder) {
+			t.Fatalf("trial %d: fired %d events, reference fired %d", trial, len(fireOrder), len(wantOrder))
+		}
+		for i := range fireOrder {
+			if fireOrder[i] != wantOrder[i] {
+				t.Fatalf("trial %d: firing %d was seq %d, reference says seq %d",
+					trial, i, fireOrder[i], wantOrder[i])
+			}
+		}
+	}
+}
+
+// TestPendingExcludesCancelled is the abort-storm regression: cancelled
+// events are compacted eagerly, so Pending reflects only live events and a
+// simulation that cancels heavily cannot mistake dead events for work.
+func TestPendingExcludesCancelled(t *testing.T) {
+	var e Engine
+	fired := 0
+	var evs []*Event
+	for i := 0; i < 100; i++ {
+		evs = append(evs, e.At(uint64(10+i%7), func() { fired++ }))
+	}
+	// Far-future events land in the overflow heap; cancel some of each.
+	for i := 0; i < 100; i++ {
+		evs = append(evs, e.At(uint64(10*wheelSize+i), func() { fired++ }))
+	}
+	if e.Pending() != 200 {
+		t.Fatalf("Pending = %d, want 200", e.Pending())
+	}
+	for i, ev := range evs {
+		if i%2 == 0 {
+			ev.Cancel()
+		}
+	}
+	if e.Pending() != 100 {
+		t.Fatalf("Pending after cancelling half = %d, want 100", e.Pending())
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 100 {
+		t.Fatalf("fired = %d, want 100", fired)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", e.Pending())
+	}
+}
+
+// TestEventPoolRecycles checks the free list actually reuses Event structs:
+// a steady-state schedule must stop allocating once warm.
+func TestEventPoolRecycles(t *testing.T) {
+	var e Engine
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < 1000 {
+			e.After(3, tick)
+		}
+	}
+	e.After(1, tick)
+	allocs := testing.AllocsPerRun(1, func() {
+		if err := e.Run(0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The warm-up run consumes the schedule; the measured run fires the
+	// remainder (AllocsPerRun runs the body twice). A small constant is
+	// tolerated for the closure itself.
+	if allocs > 10 {
+		t.Fatalf("steady-state Run allocated %.0f objects; event pool not recycling", allocs)
+	}
+}
+
+// TestFarFutureJump exercises the wheel's empty-ring fast path: a single
+// event far beyond the window must fire at exactly its cycle.
+func TestFarFutureJump(t *testing.T) {
+	var e Engine
+	var at uint64
+	e.At(1_000_000_007, func() { at = e.Now() })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if at != 1_000_000_007 {
+		t.Fatalf("fired at %d, want 1000000007", at)
+	}
+}
