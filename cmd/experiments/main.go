@@ -31,7 +31,9 @@ import (
 func main() {
 	scaleF := flag.String("scale", "small", "input scale: tiny, small, medium")
 	maxCores := flag.Int("maxcores", 16, "largest machine (use 64 for the paper's setup)")
-	only := flag.String("only", "", "comma-separated subset: table1,table2,table4,table5,fig11-fig18,gvt,canary")
+	only := flag.String("only", "", "comma-separated subset: table1,table2,table4,table5,fig11-fig18,gvt,canary,mappers")
+	mapper := flag.String("mapper", "",
+		"task-mapping policy for every Swarm run ("+strings.Join(core.MapperNames(), ", ")+"); default random")
 	csvDir := flag.String("csv", "", "also write plot-ready CSV files to this directory")
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent simulations on the host (1 = sequential; results are identical)")
 	quiet := flag.Bool("quiet", false, "suppress per-task progress lines on stderr")
@@ -53,6 +55,7 @@ func main() {
 	out := os.Stdout
 	s := harness.NewSuite(scale)
 	s.SetWorkers(*workers)
+	s.SetMapper(*mapper)
 	if !*quiet {
 		s.SetProgress(func(done, total int, label string, eta time.Duration) {
 			if eta >= time.Second {
@@ -212,6 +215,18 @@ func main() {
 			}
 			fmt.Fprintf(out, "per-line canaries: %.1f%% fewer global checks, gmean speedup %.3fx\n", 100*red, sp)
 			return nil
+		})
+	}
+	if enabled("mappers") {
+		step(out, "task-mapping policy sweep", func() error {
+			pts, err := s.MapperSweep(*maxCores, core.MapperNames())
+			if err != nil {
+				return err
+			}
+			harness.PrintMapperSweep(out, *maxCores, pts)
+			return writeCSV(*csvDir, "mappers.csv", func(w *os.File) error {
+				return harness.WriteMapperCSV(w, pts)
+			})
 		})
 	}
 	if enabled("fig18") {

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/swarm-sim/swarm/internal/bench"
+	"github.com/swarm-sim/swarm/internal/core"
+)
+
+// -update regenerates the golden corpus instead of diffing against it:
+//
+//	go test ./cmd/fingerprint -run TestGoldenFingerprints -update
+var update = flag.Bool("update", false, "rewrite the golden fingerprint corpus")
+
+// goldenCores is the pinned sweep: every registered app at tiny scale on
+// 1-, 4-, 16- and 64-core machines (1 tile through 16 tiles).
+var goldenCores = []int{1, 4, 16, 64}
+
+// TestGoldenFingerprints recomputes the full-Stats digest of every
+// registered app x core count at tiny scale and diffs it against the
+// pinned corpus in testdata. Any unintentional change to simulated
+// behaviour — timing, conflicts, placement, traffic, cache activity —
+// shows up as a per-cell diff; intentional model changes regenerate the
+// corpus with -update and show the delta in review.
+func TestGoldenFingerprints(t *testing.T) {
+	var lines []string
+	for _, name := range bench.AppNames() {
+		b, err := bench.New(name, bench.ScaleTiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, nc := range goldenCores {
+			st, err := b.RunSwarm(core.DefaultConfig(nc))
+			if err != nil {
+				t.Fatalf("%s @%dc: %v", name, nc, err)
+			}
+			lines = append(lines, digest(name, nc, st))
+		}
+	}
+	got := strings.Join(lines, "\n") + "\n"
+
+	path := filepath.Join("testdata", "tiny.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d cells)", path, len(lines))
+		return
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the corpus)", err)
+	}
+	want := string(raw)
+	if got == want {
+		return
+	}
+	// Report per-cell diffs, not a giant blob: each line is one (app,
+	// cores) cell, so a localized model change reads as a short list.
+	wantLines := strings.Split(strings.TrimSuffix(want, "\n"), "\n")
+	n := 0
+	for i, g := range lines {
+		var w string
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			n++
+			if n <= 6 {
+				t.Errorf("cell %d differs:\n  got  %s\n  want %s", i, g, w)
+			}
+		}
+	}
+	if extra := len(wantLines) - len(lines); extra > 0 {
+		t.Errorf("%d golden cells missing from this run (app removed? run -update)", extra)
+	}
+	t.Errorf("%d of %d fingerprint cells changed; if the model change is intentional, regenerate with -update and include the diff in review", n, len(lines))
+}

@@ -13,8 +13,11 @@
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
+	"hash"
+	"hash/fnv"
 	"os"
 	"strconv"
 	"strings"
@@ -28,6 +31,8 @@ func main() {
 	scaleFlag := flag.String("scale", "tiny", "input scale: tiny, small or medium")
 	coresFlag := flag.String("cores", "1,4,16", "comma-separated core counts")
 	appsFlag := flag.String("apps", "all", "comma-separated app names, or all")
+	mapperFlag := flag.String("mapper", "random",
+		"task-mapping policy: "+strings.Join(core.MapperNames(), ", "))
 	flag.Parse()
 
 	scale, err := bench.ParseScale(*scaleFlag)
@@ -53,7 +58,9 @@ func main() {
 			fatal(err)
 		}
 		for _, nc := range cores {
-			st, err := b.RunSwarm(core.DefaultConfig(nc))
+			cfg := core.DefaultConfig(nc)
+			cfg.Mapper = *mapperFlag
+			st, err := b.RunSwarm(cfg)
 			if err != nil {
 				fatal(fmt.Errorf("%s @%dc: %w", name, nc, err))
 			}
@@ -64,13 +71,17 @@ func main() {
 
 // digest renders every deterministic Stats field on one line, including
 // the cache-hierarchy counters (a change that perturbs only cache-level
-// accounting must not produce an identical fingerprint).
+// accounting must not produce an identical fingerprint) and the mapper
+// placement view — steal counts plus FNV digests of the per-tile
+// occupancy and traffic vectors, so two runs that differ only in *where*
+// tasks landed cannot fingerprint identically.
 func digest(app string, cores int, st core.Stats) string {
 	c := st.Cache
 	return fmt.Sprintf("%s cores=%d events=%d cycles=%d commits=%d aborts=%d enq=%d deq=%d nacks=%d polAborts=%d spilled=%d "+
 		"commitCyc=%d abortCyc=%d spillCyc=%d stallCyc=%d bloom=%d vtcmp=%d gvt=%d tqOcc=%.6f cqOcc=%.6f "+
 		"trafMem=%d trafEnq=%d trafAbort=%d trafGVT=%d "+
-		"ld=%d st=%d l1h=%d l2h=%d l3h=%d mem=%d canary=%d gchk=%d inval=%d wb=%d flash=%d stickyFilt=%d",
+		"ld=%d st=%d l1h=%d l2h=%d l3h=%d mem=%d canary=%d gchk=%d inval=%d wb=%d flash=%d stickyFilt=%d "+
+		"mapper=%s stolen=%d tileOcc=%x tileTraf=%x",
 		app, cores, st.Events, st.Cycles, st.Commits, st.Aborts, st.Enqueues, st.Dequeues, st.NACKs,
 		st.PolicyAborts, st.SpilledTasks,
 		st.CommittedCycles, st.AbortedCycles, st.SpillCycles, st.StallCycles,
@@ -80,7 +91,35 @@ func digest(app string, cores int, st core.Stats) string {
 		st.TrafficBytes[noc.ClassAbort], st.TrafficBytes[noc.ClassGVT],
 		c.Loads, c.Stores, c.L1Hits, c.L2Hits, c.L3Hits, c.MemAccesses,
 		c.CanaryFails, c.GlobalChecks, c.Invalidations, c.Writebacks,
-		c.L1FlashClears, c.StickyChecksFiltered)
+		c.L1FlashClears, c.StickyChecksFiltered,
+		st.Mapper, st.StolenTasks, tileOccDigest(st), tileTrafDigest(st))
+}
+
+// tileOccDigest folds the per-tile average queue occupancies into one
+// FNV-1a word (floats are fingerprinted at micro-occupancy resolution).
+func tileOccDigest(st core.Stats) uint64 {
+	h := fnv.New64a()
+	for i := range st.TileTaskQOcc {
+		writeWord(h, uint64(st.TileTaskQOcc[i]*1e6))
+		writeWord(h, uint64(st.TileCommitQOcc[i]*1e6))
+	}
+	return h.Sum64()
+}
+
+// tileTrafDigest folds the per-tile injected NoC bytes into one FNV-1a
+// word.
+func tileTrafDigest(st core.Stats) uint64 {
+	h := fnv.New64a()
+	for _, b := range st.TileTrafficBytes {
+		writeWord(h, b)
+	}
+	return h.Sum64()
+}
+
+func writeWord(h hash.Hash64, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	h.Write(buf[:])
 }
 
 func fatal(err error) {

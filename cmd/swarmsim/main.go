@@ -37,7 +37,9 @@ func main() {
 	cq := flag.Int("commitq", 0, "override commit queue entries per core")
 	gvt := flag.Uint64("gvt", 0, "override GVT update period (cycles)")
 	trace := flag.Uint64("trace", 0, "emit a per-tile trace sample every N cycles")
-	seed := flag.Int64("seed", 1, "enqueue-placement seed")
+	seed := flag.Int64("seed", 1, "enqueue-placement seed (random mapper only)")
+	mapper := flag.String("mapper", "random",
+		"task-mapping policy: "+strings.Join(core.MapperNames(), ", "))
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent simulations for multi-benchmark runs")
 	flag.Parse()
 
@@ -84,6 +86,7 @@ func main() {
 		case "swarm":
 			cfg := core.DefaultConfig(*cores)
 			cfg.Seed = *seed
+			cfg.Mapper = *mapper
 			if *cq > 0 {
 				cfg.CommitQPerCore = *cq
 			}
@@ -139,6 +142,8 @@ func printStats(w io.Writer, app string, st core.Stats) {
 		100*float64(st.SpillCycles)/tot, 100*float64(st.StallCycles)/tot)
 	fmt.Fprintf(w, "  avg occupancy: task queue %.0f, commit queue %.0f\n",
 		st.AvgTaskQueueOcc, st.AvgCommitQueueOcc)
+	fmt.Fprintf(w, "  mapper %s: task-queue imbalance %.2f (max/mean), stolen tasks %d\n",
+		st.Mapper, st.TaskQOccImbalance(), st.StolenTasks)
 	fmt.Fprintf(w, "  bloom checks      %12d (VT compares: %d)\n", st.BloomChecks, st.VTCompares)
 	fmt.Fprintf(w, "  NoC GB/s per tile: mem %.2f, enqueue %.2f, abort %.2f, gvt %.2f\n",
 		st.TrafficGBps(noc.ClassMem), st.TrafficGBps(noc.ClassEnqueue),

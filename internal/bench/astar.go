@@ -132,14 +132,15 @@ func (b *AStar) SwarmApp() SwarmApp {
 				e.Work(heurCost)
 				g2 := gdist + w
 				f := g2 + heuristic(cx, cy, tx, ty)
-				e.EnqueueArgs(0, f, [3]uint64{child, g2})
+				// Spatial hint: the destination vertex (see sssp).
+				e.EnqueueHinted(0, f, child, [3]uint64{child, g2})
 			}
 		}
 		// Root f = h(src).
 		sx, sy := b.g.X[b.src], b.g.Y[b.src]
 		tx, ty := b.g.X[b.target], b.g.Y[b.target]
 		f0 := heuristic(sx, sy, tx, ty)
-		return []guest.TaskFn{visit}, []guest.TaskDesc{{Fn: 0, TS: f0, Args: [3]uint64{uint64(b.src), 0}}}
+		return []guest.TaskFn{visit}, []guest.TaskDesc{guest.TaskDesc{Fn: 0, TS: f0, Args: [3]uint64{uint64(b.src), 0}}.WithHint(uint64(b.src))}
 	}
 	app.Verify = func(load func(uint64) uint64) error { return b.verify(load, gc) }
 	return app

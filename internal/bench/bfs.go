@@ -81,10 +81,12 @@ func (b *BFS) SwarmApp() SwarmApp {
 			for i := lo; i < hi; i++ {
 				child := e.Load(gc.DstAddr(i))
 				e.Work(1)
-				e.EnqueueArgs(0, e.Timestamp()+1, [3]uint64{child})
+				// Spatial hint: the destination vertex — every visit of one
+				// vertex shares a home tile under hint-based mappers.
+				e.EnqueueHinted(0, e.Timestamp()+1, child, [3]uint64{child})
 			}
 		}
-		return []guest.TaskFn{visit}, []guest.TaskDesc{{Fn: 0, TS: 0, Args: [3]uint64{uint64(b.src)}}}
+		return []guest.TaskFn{visit}, []guest.TaskDesc{guest.TaskDesc{Fn: 0, TS: 0, Args: [3]uint64{uint64(b.src)}}.WithHint(uint64(b.src))}
 	}
 	app.Verify = func(load func(uint64) uint64) error { return b.verify(load, gc) }
 	return app

@@ -210,7 +210,9 @@ func (b *Color) SwarmApp() SwarmApp {
 			spawnRangeTask(e, 0, func(e guest.TaskEnv, r uint64) {
 				v := g.ord.Get(e, r)
 				e.Work(1)
-				e.EnqueueArgs(1, r, [3]uint64{v})
+				// Spatial hint: the vertex — coloring reads its neighbor
+				// colors, which cluster by vertex id in the col array.
+				e.EnqueueHinted(1, r, v, [3]uint64{v})
 			})
 		}
 		colorTask := func(e guest.TaskEnv) {

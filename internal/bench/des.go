@@ -170,7 +170,9 @@ func (b *DES) SwarmApp() SwarmApp {
 			for i := lo; i < lo+direct; i++ {
 				c := e.Load(g.foDst.Addr(i))
 				d := e.Load(g.delay.Addr(c))
-				e.EnqueueArgs(2, e.Timestamp()+d, [3]uint64{c})
+				// Spatial hint: the consumer gate — every toggle of one
+				// gate evaluates on its home tile under hint-based mappers.
+				e.EnqueueHinted(2, e.Timestamp()+d, c, [3]uint64{c})
 			}
 			if lo+direct < hi {
 				e.EnqueueArgs(3, e.Timestamp(), [3]uint64{lo + direct, hi})
@@ -179,7 +181,8 @@ func (b *DES) SwarmApp() SwarmApp {
 
 		spawner := func(e guest.TaskEnv) {
 			spawnRangeTask(e, 0, func(e guest.TaskEnv, i uint64) {
-				e.EnqueueArgs(1, e.Timestamp(), [3]uint64{i})
+				// Spatial hint: the input id, stable across rounds.
+				e.EnqueueHinted(1, e.Timestamp(), i, [3]uint64{i})
 			})
 		}
 		inputSet := func(e guest.TaskEnv) {

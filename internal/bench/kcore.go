@@ -102,7 +102,10 @@ func (b *KCore) SwarmApp() SwarmApp {
 			spawnRangeTask(e, 0, func(e guest.TaskEnv, i uint64) {
 				d := e.Load(degAddr(i))
 				e.Work(1)
-				e.EnqueueArgs(1, d, [3]uint64{i})
+				// Spatial hint: the vertex — its peel entries and per-vertex
+				// state line share a home tile under hint-based mappers. The
+				// low bit namespaces vertex keys from arc-block keys.
+				e.EnqueueHinted(1, d, i<<1, [3]uint64{i})
 			})
 		}
 		// decrement(i) removes arc i's edge from its target: a tiny task
@@ -125,7 +128,7 @@ func (b *KCore) SwarmApp() SwarmApp {
 			}
 			if ts < e.Load(bestAddr(w)) {
 				e.Store(bestAddr(w), ts)
-				e.EnqueueArgs(1, ts, [3]uint64{w})
+				e.EnqueueHinted(1, ts, w<<1, [3]uint64{w})
 			}
 		}
 		// relaxArcs fans arcs [lo, hi) out as decrement tasks at the
@@ -139,7 +142,9 @@ func (b *KCore) SwarmApp() SwarmApp {
 			}
 			for i := lo; i < end; i++ {
 				e.Work(1)
-				e.EnqueueArgs(3, e.Timestamp(), [3]uint64{i})
+				// Spatial hint: the arc-array block — eight consecutive
+				// decrements read the same dst-array line.
+				e.EnqueueHinted(3, e.Timestamp(), i/8<<1|1, [3]uint64{i})
 			}
 			if end < hi {
 				e.EnqueueArgs(2, e.Timestamp(), [3]uint64{end, hi})

@@ -107,7 +107,10 @@ func (b *MSF) SwarmApp() SwarmApp {
 		spawner := func(e guest.TaskEnv) {
 			spawnRangeTask(e, 0, func(e guest.TaskEnv, i uint64) {
 				w := e.Load(g.ew.Addr(i))
-				e.EnqueueArgs(1, w, [3]uint64{i})
+				// Spatial hint: the edge-array block — eight consecutive
+				// edge tasks share the eu/ev/ew/inMSF cache lines, so
+				// hint-based mappers keep each block's lines tile-local.
+				e.EnqueueHinted(1, w, i/8, [3]uint64{i})
 			})
 		}
 		edgeTask := func(e guest.TaskEnv) {

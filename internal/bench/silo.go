@@ -81,6 +81,16 @@ func unpackDlv(p uint64) (d, oid, cid, cnt, j uint64) {
 	return p & 0xff, p >> 8 & 0xffff, p >> 24 & 0xffff, p >> 40 & 0xff, p >> 48 & 0xff
 }
 
+// Spatial hint keys for hint-based task mappers: TPC-C tuples cluster by
+// warehouse and district, so each pipeline task carries the tightest key
+// its enqueuer has already loaded — the district for tuple tasks, the item
+// for stock updates, the transaction id for fan-out tasks (whose first
+// access is the transaction record itself). The low bits namespace the key
+// kinds so distinct tables never alias to one home tile by accident.
+func hintTxn(i uint64) uint64         { return i << 2 }
+func hintDistrict(w, d uint64) uint64 { return (w<<8|d)<<2 | 1 }
+func hintItem(item uint64) uint64     { return item<<2 | 2 }
+
 // SwarmApp implements Benchmark. Task function table:
 //
 //	0 spawner     fan out transaction roots
@@ -110,7 +120,7 @@ func (b *Silo) SwarmApp() SwarmApp {
 		fns := make([]guest.TaskFn, 22)
 		fns[0] = func(e guest.TaskEnv) {
 			spawnRangeTask(e, 0, func(e guest.TaskEnv, i uint64) {
-				e.EnqueueArgs(1, i<<tsBits, [3]uint64{i})
+				e.EnqueueHinted(1, i<<tsBits, hintTxn(i), [3]uint64{i})
 			})
 		}
 		fns[1] = func(e guest.TaskEnv) { // txnRoot
@@ -120,18 +130,18 @@ func (b *Silo) SwarmApp() SwarmApp {
 			e.Work(150)
 			switch typ {
 			case tpcc.NewOrder:
-				e.EnqueueArgs(2, ts+1, [3]uint64{i})
+				e.EnqueueHinted(2, ts+1, hintTxn(i), [3]uint64{i})
 			case tpcc.Payment:
-				e.EnqueueArgs(9, ts+1, [3]uint64{i})
-				e.EnqueueArgs(10, ts+2, [3]uint64{i})
-				e.EnqueueArgs(11, ts+3, [3]uint64{i})
+				e.EnqueueHinted(9, ts+1, hintTxn(i), [3]uint64{i})
+				e.EnqueueHinted(10, ts+2, hintTxn(i), [3]uint64{i})
+				e.EnqueueHinted(11, ts+3, hintTxn(i), [3]uint64{i})
 			case tpcc.OrderStatus:
-				e.EnqueueArgs(12, ts+1, [3]uint64{i})
-				e.EnqueueArgs(13, ts+2, [3]uint64{i})
+				e.EnqueueHinted(12, ts+1, hintTxn(i), [3]uint64{i})
+				e.EnqueueHinted(13, ts+2, hintTxn(i), [3]uint64{i})
 			case tpcc.Delivery:
-				e.EnqueueArgs(15, ts+1, [3]uint64{i, 0})
+				e.EnqueueHinted(15, ts+1, hintTxn(i), [3]uint64{i, 0})
 			case tpcc.StockLevel:
-				e.EnqueueArgs(20, ts+1, [3]uint64{i})
+				e.EnqueueHinted(20, ts+1, hintTxn(i), [3]uint64{i})
 			}
 		}
 
@@ -149,9 +159,9 @@ func (b *Silo) SwarmApp() SwarmApp {
 				panic("silo: order table overflow; raise Scale.MaxOrders")
 			}
 			ts := e.Timestamp()
-			e.EnqueueArgs(3, ts+1, [3]uint64{i, oid})
-			e.EnqueueArgs(4, ts+2, [3]uint64{i, oid})
-			e.EnqueueArgs(5, ts+3, [3]uint64{i, oid, 0})
+			e.EnqueueHinted(3, ts+1, hintDistrict(w, d), [3]uint64{i, oid})
+			e.EnqueueHinted(4, ts+2, hintDistrict(w, d), [3]uint64{i, oid})
+			e.EnqueueHinted(5, ts+3, hintTxn(i), [3]uint64{i, oid, 0})
 		}
 		fns[3] = func(e guest.TaskEnv) { // noInsert: the order tuple
 			base, _ := txnBase(e)
@@ -188,10 +198,10 @@ func (b *Silo) SwarmApp() SwarmApp {
 				end = n
 			}
 			for j := j0; j < end; j++ {
-				e.EnqueueArgs(6, ts+2+3*j, [3]uint64{i, packOidJ(oid, j)})
+				e.EnqueueHinted(6, ts+2+3*j, hintTxn(i), [3]uint64{i, packOidJ(oid, j)})
 			}
 			if end < n {
-				e.EnqueueArgs(5, ts, [3]uint64{i, oid, end})
+				e.EnqueueHinted(5, ts, hintTxn(i), [3]uint64{i, oid, end})
 			}
 		}
 		fns[6] = func(e guest.TaskEnv) { // noItemRead: the item tuple
@@ -200,7 +210,7 @@ func (b *Silo) SwarmApp() SwarmApp {
 			item := e.Load(base + (8+3*j)*8)
 			price := e.Load(l.ItemAddr(item) + tpcc.FIPrice*8)
 			e.Work(250)
-			e.EnqueueArgs(7, e.Timestamp()+1, [3]uint64{i, packOidJ(oid, j), price})
+			e.EnqueueHinted(7, e.Timestamp()+1, hintItem(item), [3]uint64{i, packOidJ(oid, j), price})
 		}
 		fns[7] = func(e guest.TaskEnv) { // noStock: one stock tuple
 			base, i := txnBase(e)
@@ -225,7 +235,7 @@ func (b *Silo) SwarmApp() SwarmApp {
 			}
 			e.Work(250)
 			price := e.Arg(2)
-			e.EnqueueArgs(8, e.Timestamp()+1, [3]uint64{i, e.Arg(1), qty * price})
+			e.EnqueueHinted(8, e.Timestamp()+1, hintTxn(i), [3]uint64{i, e.Arg(1), qty * price})
 		}
 		fns[8] = func(e guest.TaskEnv) { // noLine: one order-line tuple
 			base, _ := txnBase(e)
@@ -292,7 +302,7 @@ func (b *Silo) SwarmApp() SwarmApp {
 			oid := e.Load(l.DistrictAddr(w, d) + tpcc.FDNextOID*8)
 			e.Work(250)
 			if oid > 0 {
-				e.EnqueueArgs(14, e.Timestamp()+1, [3]uint64{i, oid - 1})
+				e.EnqueueHinted(14, e.Timestamp()+1, hintDistrict(w, d), [3]uint64{i, oid - 1})
 			}
 		}
 		fns[14] = func(e guest.TaskEnv) { // scan one order's lines
@@ -321,10 +331,10 @@ func (b *Silo) SwarmApp() SwarmApp {
 				end = uint64(l.Scale.Districts)
 			}
 			for d := d0; d < end; d++ {
-				e.EnqueueArgs(16, ts+1+d*5, [3]uint64{i, d})
+				e.EnqueueHinted(16, ts+1+d*5, hintTxn(i), [3]uint64{i, d})
 			}
 			if end < uint64(l.Scale.Districts) {
-				e.EnqueueArgs(15, ts, [3]uint64{i, end})
+				e.EnqueueHinted(15, ts, hintTxn(i), [3]uint64{i, end})
 			}
 		}
 		fns[16] = func(e guest.TaskEnv) { // dlvPop: the queue tuple
@@ -340,7 +350,7 @@ func (b *Silo) SwarmApp() SwarmApp {
 			}
 			oid := e.Load(l.NORingAddr(w, d, head))
 			e.Store(nq+tpcc.FNOHead*8, head+1)
-			e.EnqueueArgs(17, e.Timestamp()+1, [3]uint64{i, packDlv(d, oid, 0, 0, 0)})
+			e.EnqueueHinted(17, e.Timestamp()+1, hintDistrict(w, d), [3]uint64{i, packDlv(d, oid, 0, 0, 0)})
 		}
 		fns[17] = func(e guest.TaskEnv) { // dlvOrder: the order tuple
 			base, i := txnBase(e)
@@ -352,7 +362,7 @@ func (b *Silo) SwarmApp() SwarmApp {
 			cnt := e.Load(oAddr + tpcc.FOOlCnt*8)
 			cid := e.Load(oAddr + tpcc.FOCid*8)
 			e.Work(250)
-			e.EnqueueArgs(18, e.Timestamp()+1, [3]uint64{i, packDlv(d, oid, cid, cnt, 0), 0})
+			e.EnqueueHinted(18, e.Timestamp()+1, hintDistrict(w, d), [3]uint64{i, packDlv(d, oid, cid, cnt, 0), 0})
 		}
 		fns[18] = func(e guest.TaskEnv) { // dlvLine: one order-line tuple
 			base, i := txnBase(e)
@@ -367,9 +377,9 @@ func (b *Silo) SwarmApp() SwarmApp {
 				e.Work(8)
 			}
 			if j+1 < cnt {
-				e.EnqueueArgs(18, e.Timestamp(), [3]uint64{i, packDlv(d, oid, cid, cnt, j+1), acc})
+				e.EnqueueHinted(18, e.Timestamp(), hintDistrict(w, d), [3]uint64{i, packDlv(d, oid, cid, cnt, j+1), acc})
 			} else {
-				e.EnqueueArgs(19, e.Timestamp()+1, [3]uint64{i, packDlv(d, oid, cid, cnt, 0), acc})
+				e.EnqueueHinted(19, e.Timestamp()+1, hintDistrict(w, d), [3]uint64{i, packDlv(d, oid, cid, cnt, 0), acc})
 			}
 		}
 		fns[19] = func(e guest.TaskEnv) { // dlvCust: the customer tuple
@@ -395,7 +405,7 @@ func (b *Silo) SwarmApp() SwarmApp {
 				lo = next - 8
 			}
 			for o := lo; o < next; o++ {
-				e.EnqueueArgs(21, e.Timestamp()+1, [3]uint64{i, o})
+				e.EnqueueHinted(21, e.Timestamp()+1, hintDistrict(w, d), [3]uint64{i, o})
 			}
 		}
 		fns[21] = func(e guest.TaskEnv) { // scan one order's stock levels

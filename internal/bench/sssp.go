@@ -84,10 +84,12 @@ func (b *SSSP) SwarmApp() SwarmApp {
 				child := e.Load(gc.DstAddr(i))
 				w := e.Load(gc.WAddr(i))
 				e.Work(2)
-				e.EnqueueArgs(0, e.Timestamp()+w, [3]uint64{child})
+				// Spatial hint: the destination vertex, so all relaxations
+				// of one vertex share a home tile under hint-based mappers.
+				e.EnqueueHinted(0, e.Timestamp()+w, child, [3]uint64{child})
 			}
 		}
-		return []guest.TaskFn{visit}, []guest.TaskDesc{{Fn: 0, TS: 0, Args: [3]uint64{uint64(b.src)}}}
+		return []guest.TaskFn{visit}, []guest.TaskDesc{guest.TaskDesc{Fn: 0, TS: 0, Args: [3]uint64{uint64(b.src)}}.WithHint(uint64(b.src))}
 	}
 	app.Verify = func(load func(uint64) uint64) error { return b.verify(load, gc) }
 	return app

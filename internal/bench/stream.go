@@ -150,7 +150,10 @@ func (b *Stream) SwarmApp() SwarmApp {
 			e.Work(6) // window arithmetic + operator bookkeeping
 			g.ring.Add(e, slot, k, v)
 			if i+1 < end {
-				e.EnqueueArgs(0, e.Load(g.ts.Addr(i+1)), [3]uint64{i + 1, end})
+				// Spatial hint: the chain's end index is unique per source,
+				// so a source's whole tuple chain — and its key/val/ts array
+				// lines — shares one home tile under hint-based mappers.
+				e.EnqueueHinted(0, e.Load(g.ts.Addr(i+1)), end, [3]uint64{i + 1, end})
 			}
 		}
 		flush := func(e guest.TaskEnv) {
@@ -169,7 +172,7 @@ func (b *Stream) SwarmApp() SwarmApp {
 		for s := 0; s < b.nSrc; s++ {
 			lo, hi := b.srcOff[s], b.srcOff[s+1]
 			if lo < hi {
-				roots = append(roots, guest.TaskDesc{Fn: 0, TS: b.ts[lo], Args: [3]uint64{lo, hi}})
+				roots = append(roots, guest.TaskDesc{Fn: 0, TS: b.ts[lo], Args: [3]uint64{lo, hi}}.WithHint(hi))
 			}
 		}
 		roots = append(roots, guest.TaskDesc{Fn: 1, TS: b.window, Args: [3]uint64{0}})

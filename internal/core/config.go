@@ -65,6 +65,12 @@ type Config struct {
 	// Seed drives the random tile selection for task enqueues.
 	Seed int64
 
+	// Mapper names the task-mapping policy: which tile each enqueued task
+	// lands on. "" or "random" is the paper's uniform-random placement
+	// (bit-identical to the pre-mapper machine); see MapperNames for the
+	// full policy list.
+	Mapper string
+
 	// LocalEnqueue is an ablation knob: send children to the parent's own
 	// tile instead of a random one. The paper's design uses random
 	// enqueues for load balance (§7: "distributed priority queues,
@@ -115,6 +121,7 @@ func DefaultConfig(nCores int) Config {
 		Cache:              cache.DefaultParams(tiles, cpt),
 		HopCycles:          3,
 		Seed:               1,
+		Mapper:             "random",
 		MaxCycles:          20_000_000_000,
 	}
 }
@@ -142,6 +149,12 @@ func (c *Config) validate() error {
 	}
 	if c.MaxChildren < 1 {
 		return fmt.Errorf("core: MaxChildren must be >= 1")
+	}
+	if c.LocalEnqueue && c.Mapper != "" && c.Mapper != "random" {
+		// LocalEnqueue is an ablation of the random policy; under any
+		// other mapper it would be silently ignored, so reject the
+		// contradictory pair instead.
+		return fmt.Errorf("core: LocalEnqueue only applies to the random mapper, not %q", c.Mapper)
 	}
 	// Keep cache geometry in sync with the machine size.
 	c.Cache.Tiles = c.Tiles

@@ -106,6 +106,10 @@ var debugAccessHook func(m *Machine, t *task, op guest.Op, res cache.Result)
 // debugAbortHook, when set by tests, observes every abort.
 var debugAbortHook func(m *Machine, victim *task, discard bool)
 
+// debugCommitHook, when set by tests, observes every task commit (called
+// before the task's state is torn down, so parent/children are intact).
+var debugCommitHook func(m *Machine, t *task)
+
 // debugProbeHook, when set by tests, observes every conflict probe.
 var debugProbeHook func(accessor *task, tileID int, v *task)
 

@@ -340,6 +340,10 @@ func (r *refEnv) EnqueueArgs(fn int, ts uint64, args [3]uint64) {
 	heap.Push(r.queue, guest.TaskDesc{Fn: fn, TS: ts, Args: args})
 }
 
+func (r *refEnv) EnqueueHinted(fn int, ts uint64, _ uint64, args [3]uint64) {
+	r.EnqueueArgs(fn, ts, args) // the reference executor has no tiles
+}
+
 func runReference(fn guest.TaskFn, roots []guest.TaskDesc, brk uint64) (map[uint64]uint64, int) {
 	r := &refEnv{mem: make(map[uint64]uint64), queue: &refHeap{}, brk: brk}
 	for _, d := range roots {

@@ -18,6 +18,10 @@ func (m *Machine) gvtRound() {
 		return // no reschedule: the event queue drains and Run returns
 	}
 
+	// Load-aware mappers migrate queued work at epoch boundaries, before
+	// the GVT bound is computed so moved tasks are counted where they land.
+	m.mapper.epoch(m)
+
 	now := m.eng.Now()
 	gvt := vt.Infinity
 	for _, tt := range m.tiles {
@@ -37,10 +41,15 @@ func (m *Machine) gvtRound() {
 
 	// Queue occupancy sampling (Fig 15) — before the commit round, which
 	// drains the commit queues (sampling after would always see the
-	// post-commit minimum).
-	for _, tt := range m.tiles {
-		m.st.tqOccSum += uint64(tt.nTasks)
-		m.st.cqOccSum += uint64(tt.commitQ.Len() + tt.finishWait.Len())
+	// post-commit minimum). Per-tile sums feed the mapper diagnostics
+	// (placement skew is invisible in the machine-wide averages).
+	for i, tt := range m.tiles {
+		tq := uint64(tt.nTasks)
+		cq := uint64(tt.commitQ.Len() + tt.finishWait.Len())
+		m.st.tqOccSum += tq
+		m.st.cqOccSum += cq
+		m.st.tileTqOccSum[i] += tq
+		m.st.tileCqOccSum[i] += cq
 	}
 	m.st.occSamples++
 
@@ -168,6 +177,9 @@ func (m *Machine) commitRound(gvt vt.Time) {
 func (m *Machine) commitTask(t *task) {
 	if m.cfg.DebugChecks {
 		m.assertCommitOrder(t)
+	}
+	if debugCommitHook != nil {
+		debugCommitHook(m, t)
 	}
 	tt := m.tiles[t.tile]
 	switch t.state {

@@ -99,10 +99,11 @@ type Machine struct {
 	mesh *noc.Mesh
 	hier *cache.Hierarchy
 
-	tiles []*tile
-	cores []*cpu
-	prog  *Program
-	rng   *rand.Rand
+	tiles  []*tile
+	cores  []*cpu
+	prog   *Program
+	rng    *rand.Rand
+	mapper mapper
 
 	seqCtr   uint64
 	tokCtr   uint64
@@ -148,6 +149,10 @@ func NewMachine(cfg Config, prog *Program) (*Machine, error) {
 	if prog == nil || prog.Setup == nil {
 		return nil, errors.New("core: program must have a Setup hook")
 	}
+	mp, err := newMapper(cfg.Mapper)
+	if err != nil {
+		return nil, err
+	}
 	m := &Machine{
 		cfg:        cfg,
 		gmem:       mem.New(),
@@ -155,10 +160,13 @@ func NewMachine(cfg Config, prog *Program) (*Machine, error) {
 		mesh:       noc.New(cfg.Tiles, cfg.HopCycles),
 		prog:       prog,
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		mapper:     mp,
 		spillStore: make(map[uint64]spillBatch),
 	}
 	m.gvtFn = m.gvtRound
 	m.hier = cache.New(cfg.Cache, m.mesh)
+	m.st.tileTqOccSum = make([]uint64, cfg.Tiles)
+	m.st.tileCqOccSum = make([]uint64, cfg.Tiles)
 	m.tiles = make([]*tile, cfg.Tiles)
 	for i := range m.tiles {
 		t := &tile{id: i}
@@ -205,7 +213,7 @@ func (m *Machine) EnqueueRoot(fn int, ts uint64, args ...uint64) {
 
 // EnqueueRootDesc inserts a parentless task descriptor during Setup.
 func (m *Machine) EnqueueRootDesc(d guest.TaskDesc) {
-	target := m.rng.Intn(m.cfg.Tiles)
+	target := m.mapper.place(m, d, -1)
 	tt := m.tiles[target]
 	if m.hasSpace(tt) {
 		m.insertIdle(tt, m.newTask(d, target, nil))
@@ -712,16 +720,14 @@ func (m *Machine) handleOp(c *cpu, t *task, op guest.Op) {
 	}
 }
 
-// enqueueOp implements enqueue_task (Fig 5): send the descriptor to a
-// random tile; on NACK (queue full of speculative tasks) retry with linear
-// backoff; the GVT task's children overflow to memory instead (§4.7).
+// enqueueOp implements enqueue_task (Fig 5): send the descriptor to the
+// tile the machine's mapper picks (uniform-random in the paper's design);
+// on NACK (queue full of speculative tasks) retry with linear backoff; the
+// GVT task's children overflow to memory instead (§4.7).
 func (m *Machine) enqueueOp(c *cpu, t *task, d guest.TaskDesc, attempt int) {
 	t.inBackoff = false
 	m.busy(c, t, m.cfg.EnqueueCost)
-	target := m.rng.Intn(m.cfg.Tiles)
-	if m.cfg.LocalEnqueue {
-		target = t.tile
-	}
+	target := m.mapper.place(m, d, t.tile)
 	tt := m.tiles[target]
 	m.st.enqueues++
 	m.mesh.Send(t.tile, target, noc.ClassEnqueue, noc.TaskDescBytes)

@@ -39,14 +39,15 @@ func spillable(t *task) bool {
 	return t.state == taskIdle && t.parent == nil && t.kind == kindWorker
 }
 
-// runCoalescer runs a coalescer pseudo-task on the core. Returns false if
-// nothing was spillable (the caller then dispatches normally).
-func (m *Machine) runCoalescer(c *cpu) bool {
-	tt := m.tiles[c.tile]
-	// Only tasks strictly later than the tile's earliest timestamp may
-	// leave the hardware queues: spilling the head would immediately
-	// force a splitter to bring it back (and can livelock the tile in
-	// coalesce/split ping-pong while real work starves).
+// movableTasks returns up to max of the tile's idle, parentless worker
+// tasks strictly later than the queue head — the set that may leave the
+// tile's hardware queue, by spilling to memory (coalescer) or migrating
+// to another tile (the stealing mapper). Only tasks strictly later than
+// the tile's earliest timestamp qualify: moving the head would
+// immediately force it back (and can livelock the tile in ping-pong
+// while real work starves). Highest timestamps come first — the work
+// farthest from the GVT and least likely to be needed soon.
+func movableTasks(tt *tile, max int) []*task {
 	minTS := uint64(0)
 	if minT := tt.idleQ.Min(); minT != nil {
 		minTS = minT.desc.TS
@@ -57,20 +58,26 @@ func (m *Machine) runCoalescer(c *cpu) bool {
 			batch = append(batch, t)
 		}
 	}
-	if len(batch) == 0 {
-		tt.spillWanted = false
-		return false
-	}
-	// Spill the highest-timestamp tasks first: they are the farthest from
-	// the GVT and the least likely to be needed soon.
 	sort.Slice(batch, func(i, j int) bool {
 		if batch[i].desc.TS != batch[j].desc.TS {
 			return batch[i].desc.TS > batch[j].desc.TS
 		}
 		return batch[i].seq > batch[j].seq
 	})
-	if len(batch) > m.cfg.SpillBatch {
-		batch = batch[:m.cfg.SpillBatch]
+	if len(batch) > max {
+		batch = batch[:max]
+	}
+	return batch
+}
+
+// runCoalescer runs a coalescer pseudo-task on the core. Returns false if
+// nothing was spillable (the caller then dispatches normally).
+func (m *Machine) runCoalescer(c *cpu) bool {
+	tt := m.tiles[c.tile]
+	batch := movableTasks(tt, m.cfg.SpillBatch)
+	if len(batch) == 0 {
+		tt.spillWanted = false
+		return false
 	}
 
 	tt.coalescing = true

@@ -12,11 +12,16 @@ type internalStats struct {
 	overflowed         uint64
 	policyAborts       uint64
 	spilledTasks       uint64
+	stolen             uint64
 	bloomChecks        uint64
 	vtCompares         uint64
 	gvtUpdates         uint64
 	tqOccSum, cqOccSum uint64
 	occSamples         uint64
+
+	// Per-tile occupancy sums (same sampling points as the aggregates):
+	// the mapper diagnostics behind Stats.TileTaskQOcc/TileCommitQOcc.
+	tileTqOccSum, tileCqOccSum []uint64
 }
 
 // Stats is the result of one Swarm run.
@@ -55,6 +60,20 @@ type Stats struct {
 	AvgTaskQueueOcc   float64
 	AvgCommitQueueOcc float64
 
+	// Mapper is the task-mapping policy the machine ran with.
+	Mapper string
+	// StolenTasks counts idle tasks migrated between tiles by load-aware
+	// mappers (the "stealing" policy's GVT-epoch re-leveling).
+	StolenTasks uint64
+	// TileTaskQOcc and TileCommitQOcc are per-tile average queue
+	// occupancies (same sampling as the Avg* aggregates): the placement-
+	// skew view a mapper change moves even when the averages stand still.
+	TileTaskQOcc   []float64
+	TileCommitQOcc []float64
+	// TileTrafficBytes is total NoC bytes injected per tile, all classes:
+	// the per-tile traffic delta between mappers.
+	TileTrafficBytes []uint64
+
 	// NoC injected bytes by class (Fig 16).
 	TrafficBytes [noc.NumClasses]uint64
 
@@ -77,6 +96,33 @@ func (s Stats) TrafficGBps(class noc.Class) float64 {
 	return bytesPerCycle * 2 // 2 GHz: cycles/s * 1e9 -> bytes/ns = GB/s
 }
 
+// TotalTrafficBytes returns chip-wide injected NoC bytes across all
+// message classes.
+func (s Stats) TotalTrafficBytes() uint64 {
+	var tot uint64
+	for _, b := range s.TrafficBytes {
+		tot += b
+	}
+	return tot
+}
+
+// TaskQOccImbalance returns the max-over-mean ratio of per-tile task queue
+// occupancy: 1.0 is perfectly even placement; large values mean the mapper
+// piled queued work onto few tiles. Returns 0 when nothing was sampled.
+func (s Stats) TaskQOccImbalance() float64 {
+	var sum, max float64
+	for _, o := range s.TileTaskQOcc {
+		sum += o
+		if o > max {
+			max = o
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return max / (sum / float64(len(s.TileTaskQOcc)))
+}
+
 func (m *Machine) collectStats() Stats {
 	s := Stats{
 		Cycles:       m.eng.Now(),
@@ -93,8 +139,22 @@ func (m *Machine) collectStats() Stats {
 		BloomChecks:  m.st.bloomChecks,
 		VTCompares:   m.st.vtCompares,
 		GVTUpdates:   m.st.gvtUpdates,
+		Mapper:       m.mapper.name(),
+		StolenTasks:  m.st.stolen,
 		Cache:        m.hier.Stats(),
 		TrafficBytes: m.mesh.TotalBytes(),
+	}
+	s.TileTaskQOcc = make([]float64, m.cfg.Tiles)
+	s.TileCommitQOcc = make([]float64, m.cfg.Tiles)
+	s.TileTrafficBytes = make([]uint64, m.cfg.Tiles)
+	for i := range m.tiles {
+		if m.st.occSamples > 0 {
+			s.TileTaskQOcc[i] = float64(m.st.tileTqOccSum[i]) / float64(m.st.occSamples)
+			s.TileCommitQOcc[i] = float64(m.st.tileCqOccSum[i]) / float64(m.st.occSamples)
+		}
+		for _, b := range m.mesh.InjectedBytes(i) {
+			s.TileTrafficBytes[i] += b
+		}
 	}
 	for _, c := range m.cores {
 		s.CommittedCycles += c.committedCyc

@@ -51,11 +51,30 @@ const (
 
 // TaskDesc is an architectural task descriptor: function pointer (an index
 // into the program's function table), a 64-bit timestamp, and up to three
-// 64-bit argument words (§4.1, Table 2).
+// 64-bit argument words (§4.1, Table 2). Hint optionally carries a spatial
+// locality key for hint-based task mappers; it is metadata consumed by the
+// task unit at enqueue time and costs nothing architecturally.
 type TaskDesc struct {
 	Fn   int
 	TS   uint64
+	Hint uint64 // spatial key + 1; 0 = no hint (see WithHint/HintKey)
 	Args [3]uint64
+}
+
+// WithHint returns the descriptor tagged with a spatial hint key: a stable
+// application-level locality handle (destination vertex, warehouse, stream
+// source) that hint-based mappers use to pick the task's home tile.
+func (d TaskDesc) WithHint(key uint64) TaskDesc {
+	d.Hint = key + 1
+	return d
+}
+
+// HintKey returns the spatial hint key and whether one was set.
+func (d TaskDesc) HintKey() (uint64, bool) {
+	if d.Hint == 0 {
+		return 0, false
+	}
+	return d.Hint - 1, true
 }
 
 // Op is one operation surrendered by a guest.
@@ -106,6 +125,11 @@ type TaskEnv interface {
 	// compiler cannot prove the callee drops it), so per-edge enqueue loops
 	// use this form; unused argument words are zero.
 	EnqueueArgs(fn int, ts uint64, args [3]uint64)
+	// EnqueueHinted is EnqueueArgs plus a spatial hint key (see
+	// TaskDesc.WithHint): hint-based mappers send the child to the key's
+	// home tile; other mappers ignore it. The hint is free — it adds no
+	// instructions, memory accesses or descriptor-transfer cost.
+	EnqueueHinted(fn int, ts uint64, hint uint64, args [3]uint64)
 }
 
 // ThreadEnv is the environment visible to a software-baseline thread.
@@ -326,6 +350,13 @@ func (e *coTaskEnv) EnqueueArgs(fn int, ts uint64, args [3]uint64) {
 		panic(fmt.Sprintf("guest: child timestamp %d before parent %d", ts, e.desc.TS))
 	}
 	e.exec(Op{Kind: OpEnqueue, Task: TaskDesc{Fn: fn, TS: ts, Args: args}})
+}
+
+func (e *coTaskEnv) EnqueueHinted(fn int, ts uint64, hint uint64, args [3]uint64) {
+	if ts < e.desc.TS {
+		panic(fmt.Sprintf("guest: child timestamp %d before parent %d", ts, e.desc.TS))
+	}
+	e.exec(Op{Kind: OpEnqueue, Task: TaskDesc{Fn: fn, TS: ts, Args: args}.WithHint(hint)})
 }
 
 type coThreadEnv struct {

@@ -73,6 +73,20 @@ func WriteTrafficCSV(w io.Writer, results []ScalingResult) error {
 	return nil
 }
 
+// WriteMapperCSV emits the task-mapping sweep: one row per (mapper, app).
+func WriteMapperCSV(w io.Writer, pts []MapperPoint) error {
+	if _, err := fmt.Fprintln(w, "mapper,app,cycles,speedup_vs_random,aborts,noc_bytes,stolen_tasks,taskq_imbalance"); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%.3f,%d,%d,%d,%.3f\n",
+			p.Mapper, p.App, p.Cycles, p.Speedup, p.Aborts, p.NoCBytes, p.Stolen, p.Imbalance); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // WriteTraceCSV emits the Fig 18 time series: one row per (sample, tile).
 func WriteTraceCSV(w io.Writer, st core.Stats) error {
 	if _, err := fmt.Fprintln(w, "cycle,tile,worker_cycles,spill_cycles,stall_cycles,task_queue,commit_queue,commits,aborts"); err != nil {

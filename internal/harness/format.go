@@ -142,6 +142,18 @@ func PrintSweep(w io.Writer, title string, apps []string, pts []SweepPoint) {
 	}
 }
 
+// PrintMapperSweep formats the task-mapping policy sweep: per-app speedup
+// over the random mapper plus the placement diagnostics behind it.
+func PrintMapperSweep(w io.Writer, cores int, pts []MapperPoint) {
+	fmt.Fprintf(w, "task-mapping policies at %d cores (speedup vs random; NoC = total injected bytes)\n", cores)
+	fmt.Fprintf(w, "%-11s %-8s %12s %8s %10s %12s %8s %7s\n",
+		"mapper", "app", "cycles", "speedup", "aborts", "noc_bytes", "stolen", "imbal")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-11s %-8s %12d %7.2fx %10d %12d %8d %7.2f\n",
+			p.Mapper, p.App, p.Cycles, p.Speedup, p.Aborts, p.NoCBytes, p.Stolen, p.Imbalance)
+	}
+}
+
 // PrintTable5 formats the idealization study.
 func PrintTable5(w io.Writer, rows []Table5Row, maxCores int) {
 	fmt.Fprintf(w, "Table 5: gmean speedups with progressive idealizations\n")

@@ -43,6 +43,10 @@ type Suite struct {
 
 	pool *Pool
 
+	// mapperName, when set, overrides the task-mapping policy of every
+	// Swarm configuration the suite builds (see SetMapper).
+	mapperName string
+
 	// Deduplicating caches shared by concurrent sweep workers.
 	serialCycles memo[appCoresKey, uint64]     // serial baselines
 	defaultRuns  memo[appCoresKey, core.Stats] // default-config Swarm runs
@@ -75,6 +79,21 @@ func (s *Suite) Workers() int { return s.pool.Workers() }
 // SetProgress installs a per-task progress observer on the scheduler.
 func (s *Suite) SetProgress(fn ProgressFunc) { s.pool.SetProgress(fn) }
 
+// SetMapper sets the task-mapping policy every Swarm run of the suite uses
+// ("" or "random" keeps the paper's uniform-random placement). Call before
+// any sweep: the deduplicating run caches key on (app, cores) only.
+func (s *Suite) SetMapper(name string) { s.mapperName = name }
+
+// config returns the suite's Swarm machine configuration for a core count:
+// Table 3 defaults plus the suite-wide mapper override.
+func (s *Suite) config(cores int) core.Config {
+	cfg := core.DefaultConfig(cores)
+	if s.mapperName != "" {
+		cfg.Mapper = s.mapperName
+	}
+	return cfg
+}
+
 // Serial returns serial cycles for an app on an nCores-sized machine,
 // computed at most once per (app, cores) across all concurrent workers.
 func (s *Suite) Serial(b bench.Benchmark, nCores int) (uint64, error) {
@@ -89,7 +108,7 @@ func (s *Suite) Serial(b bench.Benchmark, nCores int) (uint64, error) {
 // all share these runs.
 func (s *Suite) defaultRun(b bench.Benchmark, nCores int) (core.Stats, error) {
 	return s.defaultRuns.do(appCoresKey{b.Name(), nCores}, func() (core.Stats, error) {
-		return b.RunSwarm(core.DefaultConfig(nCores))
+		return b.RunSwarm(s.config(nCores))
 	})
 }
 
@@ -302,7 +321,7 @@ func (s *Suite) Fig13(warehouses []int, cores, txns int) ([]SiloWarehousePoint, 
 			if err != nil {
 				return err
 			}
-			st, err := b.RunSwarm(core.DefaultConfig(cores))
+			st, err := b.RunSwarm(s.config(cores))
 			if err != nil {
 				return err
 			}
@@ -362,7 +381,7 @@ func (s *Suite) Table5(maxCores int) ([]Table5Row, error) {
 					// cached default-config runs.
 					return s.defaultRun(b, cores)
 				}
-				cfg := core.DefaultConfig(cores)
+				cfg := s.config(cores)
 				v.tweak(&cfg)
 				return b.RunSwarm(cfg)
 			}
@@ -439,7 +458,7 @@ func (s *Suite) sweep(cores int, variants []sweepVariant) ([]SweepPoint, error) 
 			}
 			i -= nb
 			v, b := variants[i/nb], s.Benchmarks[i%nb]
-			cfg := core.DefaultConfig(cores)
+			cfg := s.config(cores)
 			v.tweak(&cfg)
 			st, err := b.RunSwarm(cfg)
 			if err != nil {
@@ -535,7 +554,7 @@ func (s *Suite) CanaryStudy(cores int) (checkReduction, gmeanSpeedup float64, er
 			if err != nil {
 				return err
 			}
-			cfgP := core.DefaultConfig(cores)
+			cfgP := s.config(cores)
 			cfgP.Cache.CanaryPerLine = true
 			stP, err := b.RunSwarm(cfgP)
 			if err != nil {
@@ -566,6 +585,68 @@ func (s *Suite) CanaryStudy(cores int) (checkReduction, gmeanSpeedup float64, er
 	return ratio(sum, float64(len(reds))), gmean(sps), nil
 }
 
+// ----------------------------------------------------------- mapper sweep --
+
+// MapperPoint is one (mapper, app) cell of the task-mapping policy sweep:
+// simulated performance plus the placement diagnostics (queue imbalance,
+// NoC traffic, steals) that explain it.
+type MapperPoint struct {
+	Mapper    string
+	App       string
+	Cycles    uint64
+	Speedup   float64 // vs the random mapper on the same app (1.0 = equal)
+	Aborts    uint64
+	Stolen    uint64
+	NoCBytes  uint64  // chip-wide injected bytes, all classes
+	Imbalance float64 // per-tile task queue occupancy, max/mean
+}
+
+// MapperSweep measures every (mapper, app) cell at a fixed core count,
+// fanning the grid over the pool. Points come back grouped by mapper in
+// the order given, apps in suite order; speedups are relative to the
+// "random" policy (which should be part of mappers).
+func (s *Suite) MapperSweep(cores int, mappers []string) ([]MapperPoint, error) {
+	nb := len(s.Benchmarks)
+	pts := make([]MapperPoint, len(mappers)*nb)
+	err := s.pool.Run(len(pts),
+		func(i int) string {
+			return fmt.Sprintf("mapper=%s %s@%dc", mappers[i/nb], s.Benchmarks[i%nb].Name(), cores)
+		},
+		func(i int) error {
+			name, b := mappers[i/nb], s.Benchmarks[i%nb]
+			cfg := core.DefaultConfig(cores)
+			cfg.Mapper = name
+			st, err := b.RunSwarm(cfg)
+			if err != nil {
+				return fmt.Errorf("%s mapper=%s: %w", b.Name(), name, err)
+			}
+			pts[i] = MapperPoint{
+				Mapper:    name,
+				App:       b.Name(),
+				Cycles:    st.Cycles,
+				Aborts:    st.Aborts,
+				Stolen:    st.StolenTasks,
+				NoCBytes:  st.TotalTrafficBytes(),
+				Imbalance: st.TaskQOccImbalance(),
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	// Speedups vs the random cells (0 when random was not swept).
+	randomCycles := map[string]uint64{}
+	for _, p := range pts {
+		if p.Mapper == "random" {
+			randomCycles[p.App] = p.Cycles
+		}
+	}
+	for i := range pts {
+		pts[i].Speedup = ratio(float64(randomCycles[pts[i].App]), float64(pts[i].Cycles))
+	}
+	return pts, nil
+}
+
 // Fig18 runs the Fig 18 case study (the app tagged "fig18" in the
 // registry — astar) with a per-tile tracer on a 16-core, 4-tile machine
 // (500-cycle samples).
@@ -579,7 +660,7 @@ func (s *Suite) Fig18() (core.Stats, error) {
 	if len(tagged) != 1 {
 		return core.Stats{}, fmt.Errorf("fig18: want exactly one app tagged \"fig18\", have %d", len(tagged))
 	}
-	cfg := core.DefaultConfig(16)
+	cfg := s.config(16)
 	cfg.TraceInterval = 500
 	return tagged[0].RunSwarm(cfg)
 }

@@ -145,6 +145,12 @@ func (p *profEnv) EnqueueArgs(fn int, ts uint64, args [3]uint64) {
 	heap.Push(&p.queue, profItem{desc: guest.TaskDesc{Fn: fn, TS: ts, Args: args}, seq: p.seq, parent: p.curIdx})
 }
 
+// EnqueueHinted implements guest.TaskEnv; the oracle's idealized scheduler
+// has no tiles, so the hint is dropped.
+func (p *profEnv) EnqueueHinted(fn int, ts uint64, _ uint64, args [3]uint64) {
+	p.EnqueueArgs(fn, ts, args)
+}
+
 func setOf(m map[uint64]struct{}) []uint64 {
 	s := make([]uint64, 0, len(m))
 	for a := range m {

@@ -1,0 +1,161 @@
+package swrt
+
+import (
+	"testing"
+)
+
+// Model-based fuzzing for the guest-memory data structures newer apps
+// lean on (mirroring the bloom signature fuzzer): ops decoded from raw
+// fuzz bytes drive the structure and a plain host-side reference in
+// lockstep, and every observable value must agree. The structures live in
+// simulated memory behind guest.Env, so the harness runs them over a
+// timing-free map-backed Env.
+
+// fuzzEnv is a minimal guest.Env over host memory: loads and stores hit a
+// map, timing charges are ignored, Alloc is a 64-byte-aligned bump
+// pointer — enough to run any swrt structure outside a simulation.
+type fuzzEnv struct {
+	mem map[uint64]uint64
+	brk uint64
+}
+
+func newFuzzEnv() *fuzzEnv { return &fuzzEnv{mem: map[uint64]uint64{}, brk: 64} }
+
+func (e *fuzzEnv) Load(a uint64) uint64 { return e.mem[a] }
+func (e *fuzzEnv) Store(a, v uint64)    { e.mem[a] = v }
+func (e *fuzzEnv) Work(uint64)          {}
+func (e *fuzzEnv) Alloc(n uint64) uint64 {
+	a := e.brk
+	e.brk += (n + 63) &^ 63
+	return a
+}
+func (e *fuzzEnv) Free(uint64, uint64) {}
+
+// FuzzBuckets drives Matula–Beck degree buckets (the serial k-core
+// scheduler) against a plain degree slice: arbitrary valid DecreaseKey
+// sequences must preserve the structure's whole invariant set — degrees
+// match the model, vert/pos stay a bijection, vert stays sorted by
+// current degree, and every vertex sits inside its degree's bin window.
+// A violation would silently corrupt the serial baseline kcore verifies
+// against.
+func FuzzBuckets(f *testing.F) {
+	f.Add([]byte{4, 3, 0, 1, 2, 3, 0, 0, 1})
+	f.Add([]byte{8, 5, 1, 1, 2, 2, 3, 3, 4, 4, 0, 1, 2, 3, 4, 5, 6, 7, 0})
+	f.Add([]byte{2, 1, 1, 1, 0, 1, 0, 1})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 2 {
+			return
+		}
+		n := uint64(raw[0])%16 + 2 // 2..17 vertices
+		maxDeg := uint64(raw[1])%8 + 1
+		raw = raw[2:]
+		if uint64(len(raw)) < n {
+			return
+		}
+		model := make([]uint64, n)
+		for v := uint64(0); v < n; v++ {
+			model[v] = uint64(raw[v]) % (maxDeg + 1)
+		}
+		ops := raw[n:]
+
+		e := newFuzzEnv()
+		b := NewBuckets(e.Alloc, n, maxDeg)
+		b.InitDirect(e.Store, model)
+
+		check := func(stage string) {
+			// Degrees match the model.
+			for v := uint64(0); v < n; v++ {
+				if got := b.Deg(e, v); got != model[v] {
+					t.Fatalf("%s: deg[%d] = %d, want %d", stage, v, got, model[v])
+				}
+			}
+			// vert/pos bijection and degree-sorted vert order.
+			prev := uint64(0)
+			for i := uint64(0); i < n; i++ {
+				v := b.Vert(e, i)
+				if v >= n {
+					t.Fatalf("%s: vert[%d] = %d out of range", stage, i, v)
+				}
+				if p := e.Load(b.pos.Addr(v)); p != i {
+					t.Fatalf("%s: pos[%d] = %d, want %d", stage, v, p, i)
+				}
+				d := model[v]
+				if i > 0 && d < prev {
+					t.Fatalf("%s: vert not degree-sorted at %d (%d after %d)", stage, i, d, prev)
+				}
+				prev = d
+				// Bin window: bin[d] <= i < bin[d+1].
+				if lo := e.Load(b.bin.Addr(d)); i < lo {
+					t.Fatalf("%s: vertex %d (deg %d) at %d before bin start %d", stage, v, d, i, lo)
+				}
+				if hi := e.Load(b.bin.Addr(d + 1)); i >= hi {
+					t.Fatalf("%s: vertex %d (deg %d) at %d past bin end %d", stage, v, d, i, hi)
+				}
+			}
+		}
+
+		check("init")
+		for _, op := range ops {
+			w := uint64(op) % n
+			if model[w] == 0 {
+				continue // DecreaseKey requires a positive degree
+			}
+			b.DecreaseKey(e, w)
+			model[w]--
+		}
+		check("final")
+	})
+}
+
+// FuzzWindowRing drives the windowed-stream accumulator ring against a
+// map reference: interleaved Add/Drain sequences over arbitrary
+// (window, key) pairs must return exactly the model's sums, and a drained
+// slot must read back as zero. A mismatch would corrupt stream's window
+// results silently (flushes store whatever Drain returns).
+func FuzzWindowRing(f *testing.F) {
+	f.Add([]byte{2, 1, 0, 3, 7, 1, 3, 7})
+	f.Add([]byte{3, 4, 0, 0, 1, 1, 9, 200, 2, 2, 2})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 2 {
+			return
+		}
+		slots := uint64(raw[0])%4 + 2 // 2..5 slots
+		keys := uint64(raw[1])%8 + 1  // 1..8 keys
+		raw = raw[2:]
+
+		e := newFuzzEnv()
+		r := NewWindowRing(e.Alloc, e.Store, slots, keys)
+		model := map[[2]uint64]uint64{}
+
+		for i := 0; i+2 < len(raw); i += 3 {
+			w := uint64(raw[i])
+			slot := r.SlotFor(w)
+			if slot != w%slots {
+				t.Fatalf("SlotFor(%d) = %d, want %d", w, slot, w%slots)
+			}
+			key := uint64(raw[i+1]) % keys
+			val := uint64(raw[i+2])
+			if val%5 == 0 { // ~1 in 5 ops drains
+				got := r.Drain(e, slot, key)
+				if want := model[[2]uint64{slot, key}]; got != want {
+					t.Fatalf("Drain(%d,%d) = %d, want %d", slot, key, got, want)
+				}
+				model[[2]uint64{slot, key}] = 0
+				if again := e.Load(r.AccAddr(slot, key)); again != 0 {
+					t.Fatalf("slot %d key %d reads %d after drain", slot, key, again)
+				}
+			} else {
+				r.Add(e, slot, key, val)
+				model[[2]uint64{slot, key}] += val
+			}
+		}
+		// Final state: every accumulator equals the model.
+		for s := uint64(0); s < slots; s++ {
+			for k := uint64(0); k < keys; k++ {
+				if got, want := e.Load(r.AccAddr(s, k)), model[[2]uint64{s, k}]; got != want {
+					t.Fatalf("acc[%d,%d] = %d, want %d", s, k, got, want)
+				}
+			}
+		}
+	})
+}

@@ -25,6 +25,64 @@ func TestLexicographicOrder(t *testing.T) {
 	}
 }
 
+// TestTieBreaking pins the §4.4 tie-break chain explicitly: equal
+// programmer timestamps order by dequeue cycle, equal (TS, Cycle) pairs
+// order by tile id, and fully equal times are unordered. The commit
+// protocol's determinism rests on exactly this chain (same-timestamp
+// tasks dispatched in different cycles or on different tiles must still
+// totally order), which until now was only covered indirectly through
+// whole-machine runs.
+func TestTieBreaking(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Time
+		less bool // a.Less(b)
+	}{
+		// TS dominates everything below it.
+		{"ts-beats-cycle", Time{TS: 1, Cycle: 999, Tile: 9}, Time{TS: 2, Cycle: 0, Tile: 0}, true},
+		{"ts-beats-tile", Time{TS: 3, Cycle: 0, Tile: 9}, Time{TS: 4, Cycle: 0, Tile: 0}, true},
+		// Equal TS: the dequeue cycle decides.
+		{"tie-ts-cycle-lo", Time{TS: 5, Cycle: 10, Tile: 9}, Time{TS: 5, Cycle: 11, Tile: 0}, true},
+		{"tie-ts-cycle-hi", Time{TS: 5, Cycle: 11, Tile: 0}, Time{TS: 5, Cycle: 10, Tile: 9}, false},
+		// Equal (TS, Cycle): the tile id decides (unique because a tile
+		// dequeues at most once per cycle).
+		{"tie-ts-cycle-tile-lo", Time{TS: 5, Cycle: 10, Tile: 0}, Time{TS: 5, Cycle: 10, Tile: 1}, true},
+		{"tie-ts-cycle-tile-hi", Time{TS: 5, Cycle: 10, Tile: 2}, Time{TS: 5, Cycle: 10, Tile: 1}, false},
+		// Fully equal: unordered in both directions.
+		{"equal", Time{TS: 5, Cycle: 10, Tile: 3}, Time{TS: 5, Cycle: 10, Tile: 3}, false},
+		// Zero value sorts before any dispatched time.
+		{"zero-first", Time{}, Time{TS: 0, Cycle: 1, Tile: 0}, true},
+		// Boundary values: max fields still order correctly.
+		{"max-cycle", Time{TS: 5, Cycle: ^uint64(0), Tile: 0}, Time{TS: 6, Cycle: 0, Tile: 0}, true},
+		{"max-tile", Time{TS: 5, Cycle: 10, Tile: ^uint32(0)}, Time{TS: 5, Cycle: 11, Tile: 0}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.a.Less(c.b); got != c.less {
+				t.Errorf("%v.Less(%v) = %v, want %v", c.a, c.b, got, c.less)
+			}
+			// Cross-check the derived comparators on the same pairs.
+			if got := c.a.LessEq(c.b); got != (c.less || c.a == c.b) {
+				t.Errorf("%v.LessEq(%v) = %v, want %v", c.a, c.b, got, c.less || c.a == c.b)
+			}
+			wantMin := c.b
+			if c.less || c.a == c.b {
+				wantMin = c.a // Min prefers its first argument on ties
+			}
+			if got := Min(c.a, c.b); got != wantMin {
+				t.Errorf("Min(%v, %v) = %v, want %v", c.a, c.b, got, wantMin)
+			}
+			wantMax := c.a
+			if c.less {
+				wantMax = c.b // Max prefers its first argument on ties
+			}
+			if got := Max(c.a, c.b); got != wantMax {
+				t.Errorf("Max(%v, %v) = %v, want %v", c.a, c.b, got, wantMax)
+			}
+		})
+	}
+}
+
 // Property: Less is a strict total order (trichotomy + transitivity on
 // random triples).
 func TestTotalOrder(t *testing.T) {
