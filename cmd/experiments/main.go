@@ -31,7 +31,7 @@ import (
 func main() {
 	scaleF := flag.String("scale", "small", "input scale: tiny, small, medium")
 	maxCores := flag.Int("maxcores", 16, "largest machine (use 64 for the paper's setup)")
-	only := flag.String("only", "", "comma-separated subset: table1,table2,table4,table5,fig11-fig18,gvt,canary,mappers")
+	only := flag.String("only", "", "comma-separated subset: table1,table2,table4,table5,fig11-fig18,gvt,canary,mappers,phases")
 	mapper := flag.String("mapper", "",
 		"task-mapping policy for every Swarm run ("+strings.Join(core.MapperNames(), ", ")+"); default random")
 	csvDir := flag.String("csv", "", "also write plot-ready CSV files to this directory")
@@ -226,6 +226,18 @@ func main() {
 			harness.PrintMapperSweep(out, *maxCores, pts)
 			return writeCSV(*csvDir, "mappers.csv", func(w *os.File) error {
 				return harness.WriteMapperCSV(w, pts)
+			})
+		})
+	}
+	if enabled("phases") {
+		step(out, "phased sessions: per-phase statistics of multi-phase workloads", func() error {
+			pts, err := s.PhasedRuns(coreCounts)
+			if err != nil {
+				return err
+			}
+			harness.PrintPhases(out, pts)
+			return writeCSV(*csvDir, "phases.csv", func(w *os.File) error {
+				return harness.WritePhasesCSV(w, pts)
 			})
 		})
 	}

@@ -60,13 +60,48 @@ func main() {
 		for _, nc := range cores {
 			cfg := core.DefaultConfig(nc)
 			cfg.Mapper = *mapperFlag
-			st, err := b.RunSwarm(cfg)
+			lines, err := cellLines(b, nc, cfg)
 			if err != nil {
 				fatal(fmt.Errorf("%s @%dc: %w", name, nc, err))
 			}
-			fmt.Println(digest(name, nc, st))
+			for _, l := range lines {
+				fmt.Println(l)
+			}
 		}
 	}
+}
+
+// cellLines fingerprints one (app, cores) cell. Single-phase apps emit
+// the cumulative digest; phased (session) apps emit one per-phase digest
+// line first, then the cumulative digest of the whole session — a change
+// that shifts work between phases while preserving totals still diffs.
+func cellLines(b bench.Benchmark, nc int, cfg core.Config) ([]string, error) {
+	if pb, ok := b.(bench.Phased); ok {
+		phases, err := pb.RunSwarmPhases(cfg)
+		if err != nil {
+			return nil, err
+		}
+		var lines []string
+		for _, ph := range phases {
+			lines = append(lines, phaseDigest(b.Name(), nc, len(phases), ph))
+		}
+		return append(lines, digest(b.Name(), nc, phases[len(phases)-1].Cumulative)), nil
+	}
+	st, err := b.RunSwarm(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []string{digest(b.Name(), nc, st)}, nil
+}
+
+// phaseDigest renders one phase's deterministic counters on one line.
+func phaseDigest(app string, cores, nPhases int, ph core.PhaseStats) string {
+	return fmt.Sprintf("%s cores=%d phase=%d/%d start=%d end=%d events=%d commits=%d aborts=%d enq=%d deq=%d nacks=%d "+
+		"polAborts=%d spilled=%d commitCyc=%d abortCyc=%d spillCyc=%d stallCyc=%d gvt=%d tqOcc=%.6f cqOcc=%.6f traffic=%d",
+		app, cores, ph.Phase, nPhases, ph.StartCycle, ph.EndCycle, ph.Events, ph.Commits, ph.Aborts,
+		ph.Enqueues, ph.Dequeues, ph.NACKs, ph.PolicyAborts, ph.SpilledTasks,
+		ph.CommittedCycles, ph.AbortedCycles, ph.SpillCycles, ph.StallCycles, ph.GVTUpdates,
+		ph.AvgTaskQueueOcc, ph.AvgCommitQueueOcc, ph.TrafficBytes)
 }
 
 // digest renders every deterministic Stats field on one line, including

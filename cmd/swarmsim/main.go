@@ -40,6 +40,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "enqueue-placement seed (random mapper only)")
 	mapper := flag.String("mapper", "random",
 		"task-mapping policy: "+strings.Join(core.MapperNames(), ", "))
+	phases := flag.Bool("phases", false,
+		"print per-phase statistics for session (multi-phase) benchmarks")
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent simulations for multi-benchmark runs")
 	flag.Parse()
 
@@ -94,9 +96,23 @@ func main() {
 				cfg.GVTPeriod = *gvt
 			}
 			cfg.TraceInterval = *trace
-			st, err := b.RunSwarm(cfg)
-			if err != nil {
-				return err
+			var st core.Stats
+			if pb, ok := b.(bench.Phased); ok && *phases {
+				phs, err := pb.RunSwarmPhases(cfg)
+				if err != nil {
+					return err
+				}
+				st = phs[len(phs)-1].Cumulative
+				printPhases(w, b.Name(), phs)
+			} else {
+				var err error
+				st, err = b.RunSwarm(cfg)
+				if err != nil {
+					return err
+				}
+				if *phases {
+					fmt.Fprintf(w, "%s is single-phase; -phases adds nothing\n", b.Name())
+				}
 			}
 			printStats(w, b.Name(), st)
 			if *trace > 0 {
@@ -125,6 +141,19 @@ func main() {
 			log.Fatal(errs[i])
 		}
 		os.Stdout.Write(bufs[i].Bytes())
+	}
+}
+
+// printPhases reports each quiescence-to-quiescence phase of a session
+// benchmark before the cumulative report.
+func printPhases(w io.Writer, app string, phs []core.PhaseStats) {
+	fmt.Fprintf(w, "%s session: %d phases\n", app, len(phs))
+	fmt.Fprintf(w, "  %5s %12s %10s %8s %8s %8s %8s\n",
+		"phase", "cycles", "commits", "aborts", "spilled", "tq_occ", "cq_occ")
+	for _, ph := range phs {
+		fmt.Fprintf(w, "  %5d %12d %10d %8d %8d %8.1f %8.1f\n",
+			ph.Phase, ph.Cycles, ph.Commits, ph.Aborts, ph.SpilledTasks,
+			ph.AvgTaskQueueOcc, ph.AvgCommitQueueOcc)
 	}
 }
 

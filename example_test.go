@@ -1,0 +1,120 @@
+package swarm_test
+
+import (
+	"fmt"
+	"log"
+
+	swarm "github.com/swarm-sim/swarm"
+)
+
+// Example is the package quickstart: single-source shortest paths on the
+// paper's Fig 1 graph in a few lines of Swarm code. Each task visits one
+// node; its timestamp is the tentative distance. There is no priority
+// queue and no locking — order comes from timestamps, and the hardware
+// speculates to run tasks in parallel.
+//
+// Being a godoc Example, this code is compiled and its output checked by
+// go test: if the public API drifts, the quickstart breaks loudly instead
+// of rotting in a comment.
+func Example() {
+	// The graph from Fig 1(b): A=0, B=1, C=2, D=3, E=4.
+	type edge struct{ to, w uint64 }
+	adj := [][]edge{
+		0: {{1, 3}, {2, 2}}, // A -> B(3), C(2)
+		1: {{3, 1}, {4, 2}}, // B -> D(1), E(2)
+		2: {{1, 2}, {3, 4}}, // C -> B(2), D(4)
+		3: {{4, 3}},         // D -> E(3)
+		4: {},               // E
+	}
+
+	var dist swarm.Words
+	app := swarm.App{
+		Build: func(b *swarm.Builder) []swarm.Task {
+			dist = b.NewWords(uint64(len(adj)))
+			dist.Fill(swarm.Unvisited)
+			// visit(node): the first task to reach a node (smallest
+			// timestamp = shortest distance) settles it and relaxes its
+			// out-edges; later tasks see it settled and do nothing.
+			var visit swarm.FnID
+			visit = b.Fn("visit", func(e swarm.TaskEnv) {
+				node := e.Arg(0)
+				if e.Load(dist.Addr(node)) != swarm.Unvisited {
+					return
+				}
+				e.Store(dist.Addr(node), e.Timestamp())
+				for _, ed := range adj[node] {
+					e.Enqueue(visit, e.Timestamp()+ed.w, ed.to)
+				}
+			})
+			return []swarm.Task{{Fn: visit, TS: 0, Args: [3]uint64{0}}}
+		},
+	}
+
+	res, err := swarm.Run(swarm.DefaultConfig(4), app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("distances:", res.Words(dist.Base(), dist.Len()))
+	// Output:
+	// distances: [0 3 2 4 5]
+}
+
+// ExampleNewSim shows phased (incremental) execution through a session:
+// run a workload to quiescence, mutate its inputs at setup cost, inject a
+// new batch of root tasks, and run again — the machine, its guest memory
+// and its clock carry over, and per-phase statistics come back from each
+// RunToQuiescence.
+func ExampleNewSim() {
+	var cells swarm.Words
+	var bump swarm.FnID
+	app := swarm.App{
+		Build: func(b *swarm.Builder) []swarm.Task {
+			cells = b.NewWords(4)
+			bump = b.Fn("bump", func(e swarm.TaskEnv) {
+				a := cells.Addr(e.Arg(0))
+				e.Store(a, e.Load(a)+1)
+			})
+			// Phase 1: one task per cell.
+			return []swarm.Task{
+				{Fn: bump, TS: 0, Args: [3]uint64{0}},
+				{Fn: bump, TS: 1, Args: [3]uint64{1}},
+				{Fn: bump, TS: 2, Args: [3]uint64{2}},
+				{Fn: bump, TS: 3, Args: [3]uint64{3}},
+			}
+		},
+	}
+
+	sim, err := swarm.NewSim(swarm.DefaultConfig(4), app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p1, err := sim.RunToQuiescence()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase 1: %d commits\n", p1.Commits)
+
+	// Between phases: setup-cost mutation plus a second batch of roots.
+	sim.Mem().Store(cells.Addr(0), 100)
+	if err := sim.Enqueue(
+		swarm.Task{Fn: bump, TS: 0, Args: [3]uint64{0}},
+		swarm.Task{Fn: bump, TS: 1, Args: [3]uint64{0}},
+	); err != nil {
+		log.Fatal(err)
+	}
+	p2, err := sim.RunToQuiescence()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase 2: %d commits\n", p2.Commits)
+
+	res := sim.Finish()
+	fmt.Println("cells:", res.Words(cells.Base(), cells.Len()))
+	fmt.Printf("total commits: %d over %d phases\n",
+		res.Stats.Commits, len(sim.Phases()))
+	// Output:
+	// phase 1: 4 commits
+	// phase 2: 2 commits
+	// cells: [102 1 1 1]
+	// total commits: 6 over 2 phases
+}

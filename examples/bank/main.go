@@ -45,18 +45,20 @@ func main() {
 
 	var balances, logBase, logLen uint64
 	app := swarm.App{
-		Build: func(mem *swarm.Mem) ([]swarm.TaskFn, []swarm.Task) {
+		Build: func(b *swarm.Builder) []swarm.Task {
 			// Accounts padded to one cache line each: transfers touching
-			// different accounts never conflict.
-			balances = mem.Alloc(nAccounts * 64)
+			// different accounts never conflict. (A stride-8 Words view
+			// would also work; the line padding is the point here.)
+			balances = b.Alloc(nAccounts * 64)
 			for i := uint64(0); i < nAccounts; i++ {
-				mem.Store(balances+i*64, initBal)
+				b.Store(balances+i*64, initBal)
 			}
-			logBase = mem.AllocWords(nTransfers)
-			logLen = mem.AllocWords(1)
+			logBase = b.AllocWords(nTransfers)
+			logLen = b.AllocWords(1)
 
 			// Tasks of transfer i run at timestamps [i*4, i*4+3].
-			debit := func(e swarm.TaskEnv) {
+			var credit, audit swarm.FnID
+			debit := b.Fn("debit", func(e swarm.TaskEnv) {
 				i := e.Arg(0)
 				t := transfers[i]
 				bal := e.Load(balances + t.from*64)
@@ -64,26 +66,26 @@ func main() {
 					return // insufficient funds: abandon the transfer
 				}
 				e.Store(balances+t.from*64, bal-t.amount)
-				e.Enqueue(1, e.Timestamp()+1, i) // credit
-				e.Enqueue(2, e.Timestamp()+2, i) // audit
-			}
-			credit := func(e swarm.TaskEnv) {
+				e.Enqueue(credit, e.Timestamp()+1, i)
+				e.Enqueue(audit, e.Timestamp()+2, i)
+			})
+			credit = b.Fn("credit", func(e swarm.TaskEnv) {
 				i := e.Arg(0)
 				t := transfers[i]
 				e.Store(balances+t.to*64, e.Load(balances+t.to*64)+t.amount)
-			}
-			audit := func(e swarm.TaskEnv) {
+			})
+			audit = b.Fn("audit", func(e swarm.TaskEnv) {
 				i := e.Arg(0)
 				n := e.Load(logLen)
 				e.Store(logLen, n+1)
 				e.Store(logBase+n*8, i)
-			}
+			})
 
 			roots := make([]swarm.Task, nTransfers)
 			for i := range roots {
-				roots[i] = swarm.Task{Fn: 0, TS: uint64(i) * 4, Args: [3]uint64{uint64(i)}}
+				roots[i] = swarm.Task{Fn: debit, TS: uint64(i) * 4, Args: [3]uint64{uint64(i)}}
 			}
-			return []swarm.TaskFn{debit, credit, audit}, roots
+			return roots
 		},
 	}
 

@@ -93,54 +93,51 @@ func main() {
 		}
 	}
 
-	var vals uint64 // guest address of gate output values
+	var vals swarm.Words // gate output values
 	app := swarm.App{
-		Build: func(mem *swarm.Mem) ([]swarm.TaskFn, []swarm.Task) {
-			vals = mem.AllocWords(uint64(len(nl.gates)))
-			for g, v := range quiescent {
-				mem.Store(vals+uint64(g)*8, v)
-			}
+		Build: func(bld *swarm.Builder) []swarm.Task {
+			vals = bld.NewWords(uint64(len(nl.gates)))
+			vals.Copy(quiescent)
 			// eval(gate) at time ts: recompute from fanin values; on
 			// change, toggle fanout at ts+1.
-			var fns []swarm.TaskFn
-			eval := func(e swarm.TaskEnv) {
-				g := int(e.Arg(0))
+			var eval swarm.FnID
+			eval = bld.Fn("eval", func(e swarm.TaskEnv) {
+				g := e.Arg(0)
 				ga := nl.gates[g]
-				va := e.Load(vals + uint64(ga.a)*8)
-				vb := e.Load(vals + uint64(ga.b)*8)
+				va := e.Load(vals.Addr(uint64(ga.a)))
+				vb := e.Load(vals.Addr(uint64(ga.b)))
 				nv := 1 &^ (va & vb) // NAND
 				e.Work(2)
-				if e.Load(vals+uint64(g)*8) == nv {
+				if e.Load(vals.Addr(g)) == nv {
 					return
 				}
-				e.Store(vals+uint64(g)*8, nv)
+				e.Store(vals.Addr(g), nv)
 				for _, f := range ga.fanout {
-					e.Enqueue(0, e.Timestamp()+1, uint64(f))
+					e.Enqueue(eval, e.Timestamp()+1, uint64(f))
 				}
-			}
+			})
 			// set(input, value) at time ts.
-			set := func(e swarm.TaskEnv) {
+			set := bld.Fn("set", func(e swarm.TaskEnv) {
 				g, v := e.Arg(0), e.Arg(1)
-				if e.Load(vals+g*8) == v {
+				if e.Load(vals.Addr(g)) == v {
 					return
 				}
-				e.Store(vals+g*8, v)
+				e.Store(vals.Addr(g), v)
 				for _, f := range nl.gates[g].fanout {
-					e.Enqueue(0, e.Timestamp()+1, uint64(f))
+					e.Enqueue(eval, e.Timestamp()+1, uint64(f))
 				}
-			}
-			fns = []swarm.TaskFn{eval, set}
+			})
 
 			var roots []swarm.Task
 			drive := func(g int, v uint64) {
-				roots = append(roots, swarm.Task{Fn: 1, TS: 0, Args: [3]uint64{uint64(g), v}})
+				roots = append(roots, swarm.Task{Fn: set, TS: 0, Args: [3]uint64{uint64(g), v}})
 			}
 			for i := 0; i < bits; i++ {
 				drive(a[i], av>>i&1)
 				drive(b[i], bv>>i&1)
 			}
 			drive(cin, cv)
-			return fns, roots
+			return roots
 		},
 	}
 
@@ -151,9 +148,9 @@ func main() {
 
 	var sum uint64
 	for i := 0; i < bits; i++ {
-		sum |= res.Load(vals+uint64(sums[i])*8) << i
+		sum |= res.Load(vals.Addr(uint64(sums[i]))) << i
 	}
-	sum |= res.Load(vals+uint64(cout)*8) << bits
+	sum |= res.Load(vals.Addr(uint64(cout))) << bits
 	fmt.Printf("%d + %d + %d = %d (circuit of %d NAND gates)\n", av, bv, cv, sum, len(nl.gates))
 	fmt.Printf("simulated: %d cycles, %d gate events committed, %d aborted\n",
 		res.Stats.Cycles, res.Stats.Commits, res.Stats.Aborts)

@@ -60,33 +60,31 @@ func main() {
 	}
 	start, target := id(0, 0), id(side-1, side-1)
 
-	var dist uint64
+	var dist swarm.Words
 	app := swarm.App{
-		Build: func(mem *swarm.Mem) ([]swarm.TaskFn, []swarm.Task) {
-			dist = mem.AllocWords(side * side)
-			for i := uint64(0); i < side*side; i++ {
-				mem.Store(dist+i*8, swarm.Unvisited)
-			}
-			visit := func(e swarm.TaskEnv) {
+		Build: func(b *swarm.Builder) []swarm.Task {
+			dist = b.NewWords(side * side)
+			dist.Fill(swarm.Unvisited)
+			var visit swarm.FnID
+			visit = b.Fn("visit", func(e swarm.TaskEnv) {
 				node, g := e.Arg(0), e.Arg(1)
-				if e.Load(dist+node*8) != swarm.Unvisited {
+				if e.Load(dist.Addr(node)) != swarm.Unvisited {
 					return
 				}
-				if node != target && e.Load(dist+target*8) != swarm.Unvisited {
+				if node != target && e.Load(dist.Addr(target)) != swarm.Unvisited {
 					return // target settled: prune
 				}
-				e.Store(dist+node*8, g)
+				e.Store(dist.Addr(node), g)
 				if node == target {
 					return
 				}
 				for _, nb := range neighbors(node) {
 					g2 := g + nb[1]
 					e.Work(6) // heuristic arithmetic
-					e.Enqueue(0, g2+heur(nb[0], target), nb[0], g2)
+					e.Enqueue(visit, g2+heur(nb[0], target), nb[0], g2)
 				}
-			}
-			return []swarm.TaskFn{visit},
-				[]swarm.Task{{Fn: 0, TS: heur(start, target), Args: [3]uint64{start, 0}}}
+			})
+			return []swarm.Task{{Fn: visit, TS: heur(start, target), Args: [3]uint64{start, 0}}}
 		},
 	}
 
@@ -94,13 +92,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	best := res.Load(dist + target*8)
+	best := res.Load(dist.Addr(target))
 	if best == swarm.Unvisited {
 		log.Fatal("no route found")
 	}
 	settled := 0
-	for i := uint64(0); i < side*side; i++ {
-		if res.Load(dist+i*8) != swarm.Unvisited {
+	for _, d := range res.Words(dist.Base(), dist.Len()) {
+		if d != swarm.Unvisited {
 			settled++
 		}
 	}

@@ -30,28 +30,26 @@ func main() {
 	}
 	names := []string{"A", "B", "C", "D", "E"}
 
-	var dist uint64 // guest address of the distance array
+	var dist swarm.Words // the distance array
 	app := swarm.App{
-		Build: func(mem *swarm.Mem) ([]swarm.TaskFn, []swarm.Task) {
-			n := uint64(len(adj))
-			dist = mem.AllocWords(n)
-			for i := uint64(0); i < n; i++ {
-				mem.Store(dist+i*8, swarm.Unvisited)
-			}
+		Build: func(b *swarm.Builder) []swarm.Task {
+			dist = b.NewWords(uint64(len(adj)))
+			dist.Fill(swarm.Unvisited)
 			// visit(node): the first task to reach a node (smallest
 			// timestamp = shortest distance) settles it and relaxes its
 			// out-edges; later tasks see it settled and do nothing.
-			visit := func(e swarm.TaskEnv) {
+			var visit swarm.FnID
+			visit = b.Fn("visit", func(e swarm.TaskEnv) {
 				node := e.Arg(0)
-				if e.Load(dist+node*8) != swarm.Unvisited {
+				if e.Load(dist.Addr(node)) != swarm.Unvisited {
 					return
 				}
-				e.Store(dist+node*8, e.Timestamp())
+				e.Store(dist.Addr(node), e.Timestamp())
 				for _, ed := range adj[node] {
-					e.Enqueue(0, e.Timestamp()+ed.w, ed.to)
+					e.Enqueue(visit, e.Timestamp()+ed.w, ed.to)
 				}
-			}
-			return []swarm.TaskFn{visit}, []swarm.Task{{Fn: 0, TS: 0, Args: [3]uint64{0}}}
+			})
+			return []swarm.Task{{Fn: visit, TS: 0, Args: [3]uint64{0}}}
 		},
 	}
 
@@ -62,7 +60,7 @@ func main() {
 
 	fmt.Println("shortest distances from A:")
 	for i, name := range names {
-		fmt.Printf("  %s: %d\n", name, res.Load(dist+uint64(i)*8))
+		fmt.Printf("  %s: %d\n", name, res.Load(dist.Addr(uint64(i))))
 	}
 	fmt.Printf("\nsimulated: %d cycles, %d tasks committed, %d aborted speculations\n",
 		res.Stats.Cycles, res.Stats.Commits, res.Stats.Aborts)

@@ -97,10 +97,11 @@ func heuristic(x, y, tx, ty float64) uint64 {
 func (b *AStar) SwarmApp() SwarmApp {
 	var gc graph.GuestCSR
 	app := SwarmApp{}
-	app.Build = func(alloc func(uint64) uint64, store func(addr, val uint64)) ([]guest.TaskFn, []guest.TaskDesc) {
-		gc = graph.Pack(b.g, alloc, store)
+	app.Build = func(ab *guest.AppBuild) []guest.TaskDesc {
+		gc = graph.Pack(b.g, ab.Alloc, ab.Store)
 		target := uint64(b.target)
-		visit := func(e guest.TaskEnv) {
+		var visit guest.FnID
+		visit = ab.Fn("visit", func(e guest.TaskEnv) {
 			node, gdist := e.Arg(0), e.Arg(1)
 			e.Work(2)
 			if e.Load(gc.DistAddr(node)) != graph.Unvisited {
@@ -133,14 +134,14 @@ func (b *AStar) SwarmApp() SwarmApp {
 				g2 := gdist + w
 				f := g2 + heuristic(cx, cy, tx, ty)
 				// Spatial hint: the destination vertex (see sssp).
-				e.EnqueueHinted(0, f, child, [3]uint64{child, g2})
+				e.EnqueueHinted(visit, f, child, [3]uint64{child, g2})
 			}
-		}
+		})
 		// Root f = h(src).
 		sx, sy := b.g.X[b.src], b.g.Y[b.src]
 		tx, ty := b.g.X[b.target], b.g.Y[b.target]
 		f0 := heuristic(sx, sy, tx, ty)
-		return []guest.TaskFn{visit}, []guest.TaskDesc{guest.TaskDesc{Fn: 0, TS: f0, Args: [3]uint64{uint64(b.src), 0}}.WithHint(uint64(b.src))}
+		return []guest.TaskDesc{guest.TaskDesc{Fn: visit, TS: f0, Args: [3]uint64{uint64(b.src), 0}}.WithHint(uint64(b.src))}
 	}
 	app.Verify = func(load func(uint64) uint64) error { return b.verify(load, gc) }
 	return app

@@ -68,10 +68,11 @@ type SerialApp struct {
 }
 
 // SwarmApp is a machine-independent Swarm program: Build lays out guest
-// memory using the target's setup-time primitives and returns the task
-// function table plus the root tasks. Verify checks the final memory state.
+// memory with the build environment's setup-time primitives, registers
+// named task functions (b.Fn), and returns the root tasks. Verify checks
+// the final memory state.
 type SwarmApp struct {
-	Build  func(alloc func(uint64) uint64, store func(addr, val uint64)) ([]guest.TaskFn, []guest.TaskDesc)
+	Build  func(b *guest.AppBuild) []guest.TaskDesc
 	Verify func(load func(addr uint64) uint64) error
 }
 
@@ -79,8 +80,10 @@ type SwarmApp struct {
 func (app SwarmApp) Program() *core.Program {
 	p := &core.Program{}
 	p.Setup = func(m *core.Machine) {
-		fns, roots := app.Build(m.SetupAlloc, m.Mem().Store)
-		p.Fns = fns
+		b := &guest.AppBuild{Alloc: m.SetupAlloc, Store: m.Mem().Store}
+		roots := app.Build(b)
+		p.Fns = b.Fns()
+		p.FnNames = b.Names()
 		for _, d := range roots {
 			m.EnqueueRootDesc(d)
 		}
@@ -106,6 +109,19 @@ func runSwarm(app SwarmApp, cfg core.Config) (core.Stats, error) {
 	return st, nil
 }
 
+// Phased is implemented by benchmarks that execute as multi-phase sessions:
+// run to quiescence, mutate inputs, inject new roots, run again. RunSwarm
+// on such a benchmark reports the cumulative Stats of the whole session;
+// RunSwarmPhases exposes the per-phase breakdown.
+type Phased interface {
+	Benchmark
+	// PhaseCount returns the number of quiescent phases a run executes.
+	PhaseCount() int
+	// RunSwarmPhases executes the session and returns one PhaseStats per
+	// phase, each verified against the benchmark's per-phase reference.
+	RunSwarmPhases(cfg core.Config) ([]core.PhaseStats, error)
+}
+
 // spawnRange fans a [lo, hi) index range out as tasks with function
 // edgeFn(ts(i), i), using a tree of spawner tasks to respect the 8-child
 // hardware limit (§4.1: tasks that need more children enqueue tasks that
@@ -119,7 +135,7 @@ const spawnFanout = 8
 // spawnRangeTask is the body shared by range-spawner tasks: it either
 // enqueues leaf tasks directly (small ranges) or splits the range among up
 // to spawnFanout sub-spawners.
-func spawnRangeTask(e guest.TaskEnv, spawnFn int, enqueueLeaf func(e guest.TaskEnv, i uint64)) {
+func spawnRangeTask(e guest.TaskEnv, spawnFn guest.FnID, enqueueLeaf func(e guest.TaskEnv, i uint64)) {
 	lo, hi := e.Arg(0), e.Arg(1)
 	n := hi - lo
 	e.Work(4)

@@ -66,9 +66,10 @@ func (b *BFS) verify(load func(uint64) uint64, gc graph.GuestCSR) error {
 func (b *BFS) SwarmApp() SwarmApp {
 	var gc graph.GuestCSR
 	app := SwarmApp{}
-	app.Build = func(alloc func(uint64) uint64, store func(addr, val uint64)) ([]guest.TaskFn, []guest.TaskDesc) {
-		gc = graph.Pack(b.g, alloc, store)
-		visit := func(e guest.TaskEnv) {
+	app.Build = func(ab *guest.AppBuild) []guest.TaskDesc {
+		gc = graph.Pack(b.g, ab.Alloc, ab.Store)
+		var visit guest.FnID
+		visit = ab.Fn("visit", func(e guest.TaskEnv) {
 			node := e.Arg(0)
 			e.Work(2)
 			if e.Load(gc.DistAddr(node)) != graph.Unvisited {
@@ -83,10 +84,10 @@ func (b *BFS) SwarmApp() SwarmApp {
 				e.Work(1)
 				// Spatial hint: the destination vertex — every visit of one
 				// vertex shares a home tile under hint-based mappers.
-				e.EnqueueHinted(0, e.Timestamp()+1, child, [3]uint64{child})
+				e.EnqueueHinted(visit, e.Timestamp()+1, child, [3]uint64{child})
 			}
-		}
-		return []guest.TaskFn{visit}, []guest.TaskDesc{guest.TaskDesc{Fn: 0, TS: 0, Args: [3]uint64{uint64(b.src)}}.WithHint(uint64(b.src))}
+		})
+		return []guest.TaskDesc{guest.TaskDesc{Fn: visit, TS: 0, Args: [3]uint64{uint64(b.src)}}.WithHint(uint64(b.src))}
 	}
 	app.Verify = func(load func(uint64) uint64) error { return b.verify(load, gc) }
 	return app

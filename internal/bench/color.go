@@ -204,22 +204,22 @@ func (b *Color) colorVertex(e guest.Env, g guestColor, v uint64, mask []uint64) 
 func (b *Color) SwarmApp() SwarmApp {
 	var g guestColor
 	app := SwarmApp{}
-	app.Build = func(alloc func(uint64) uint64, store func(addr, val uint64)) ([]guest.TaskFn, []guest.TaskDesc) {
-		g = b.pack(alloc, store)
-		spawner := func(e guest.TaskEnv) {
-			spawnRangeTask(e, 0, func(e guest.TaskEnv, r uint64) {
+	app.Build = func(ab *guest.AppBuild) []guest.TaskDesc {
+		g = b.pack(ab.Alloc, ab.Store)
+		var spawn, color guest.FnID
+		spawn = ab.Fn("spawn", func(e guest.TaskEnv) {
+			spawnRangeTask(e, spawn, func(e guest.TaskEnv, r uint64) {
 				v := g.ord.Get(e, r)
 				e.Work(1)
 				// Spatial hint: the vertex — coloring reads its neighbor
 				// colors, which cluster by vertex id in the col array.
-				e.EnqueueHinted(1, r, v, [3]uint64{v})
+				e.EnqueueHinted(color, r, v, [3]uint64{v})
 			})
-		}
-		colorTask := func(e guest.TaskEnv) {
+		})
+		color = ab.Fn("color", func(e guest.TaskEnv) {
 			b.colorVertex(e, g, e.Arg(0), make([]uint64, b.words))
-		}
-		return []guest.TaskFn{spawner, colorTask},
-			[]guest.TaskDesc{{Fn: 0, TS: 0, Args: [3]uint64{0, uint64(b.g.N)}}}
+		})
+		return []guest.TaskDesc{{Fn: spawn, TS: 0, Args: [3]uint64{0, uint64(b.g.N)}}}
 	}
 	app.Verify = func(load func(uint64) uint64) error { return b.verify(load, g) }
 	return app

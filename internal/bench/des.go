@@ -149,18 +149,21 @@ func evalGateGuest(e guest.Env, g guestDES, gi uint64) uint64 {
 
 // SwarmApp implements Benchmark.
 //
-// Task functions: 0 = range spawner over a round's inputs, 1 = input
-// setter, 2 = gate evaluation, 3 = fanout spawner (for gates whose fanout
-// exceeds the 8-child limit, e.g. the carry-select mux selects).
+// Task functions: "spawn" fans a round's inputs out, "input" sets one
+// input, "eval" evaluates a gate, and "fanout" chains consumer enqueues
+// for gates whose fanout exceeds the 8-child limit (e.g. the carry-select
+// mux selects).
 func (b *DES) SwarmApp() SwarmApp {
 	var g guestDES
 	period := b.stim.Period
 	app := SwarmApp{}
-	app.Build = func(alloc func(uint64) uint64, store func(addr, val uint64)) ([]guest.TaskFn, []guest.TaskDesc) {
-		g = b.pack(alloc, store)
+	app.Build = func(ab *guest.AppBuild) []guest.TaskDesc {
+		g = b.pack(ab.Alloc, ab.Store)
+		var spawn, input, eval, fan guest.FnID
 
 		// enqueueFanout schedules evaluations of gate gi's consumers in
-		// [lo, hi), chaining through fn 3 when there are more than 7.
+		// [lo, hi), chaining through the fanout spawner when there are more
+		// than 7.
 		enqueueFanout := func(e guest.TaskEnv, lo, hi uint64) {
 			n := hi - lo
 			direct := n
@@ -172,20 +175,20 @@ func (b *DES) SwarmApp() SwarmApp {
 				d := e.Load(g.delay.Addr(c))
 				// Spatial hint: the consumer gate — every toggle of one
 				// gate evaluates on its home tile under hint-based mappers.
-				e.EnqueueHinted(2, e.Timestamp()+d, c, [3]uint64{c})
+				e.EnqueueHinted(eval, e.Timestamp()+d, c, [3]uint64{c})
 			}
 			if lo+direct < hi {
-				e.EnqueueArgs(3, e.Timestamp(), [3]uint64{lo + direct, hi})
+				e.EnqueueArgs(fan, e.Timestamp(), [3]uint64{lo + direct, hi})
 			}
 		}
 
-		spawner := func(e guest.TaskEnv) {
-			spawnRangeTask(e, 0, func(e guest.TaskEnv, i uint64) {
+		spawn = ab.Fn("spawn", func(e guest.TaskEnv) {
+			spawnRangeTask(e, spawn, func(e guest.TaskEnv, i uint64) {
 				// Spatial hint: the input id, stable across rounds.
-				e.EnqueueHinted(1, e.Timestamp(), i, [3]uint64{i})
+				e.EnqueueHinted(input, e.Timestamp(), i, [3]uint64{i})
 			})
-		}
-		inputSet := func(e guest.TaskEnv) {
+		})
+		input = ab.Fn("input", func(e guest.TaskEnv) {
 			i := e.Arg(0)
 			round := e.Timestamp() / period
 			gate := e.Load(g.inputs.Addr(i))
@@ -198,8 +201,8 @@ func (b *DES) SwarmApp() SwarmApp {
 			lo := e.Load(g.foOff.Addr(gate))
 			hi := e.Load(g.foOff.Addr(gate + 1))
 			enqueueFanout(e, lo, hi)
-		}
-		eval := func(e guest.TaskEnv) {
+		})
+		eval = ab.Fn("eval", func(e guest.TaskEnv) {
 			gi := e.Arg(0)
 			nv := evalGateGuest(e, g, gi)
 			if e.Load(g.val.Addr(gi)) == nv {
@@ -209,16 +212,16 @@ func (b *DES) SwarmApp() SwarmApp {
 			lo := e.Load(g.foOff.Addr(gi))
 			hi := e.Load(g.foOff.Addr(gi + 1))
 			enqueueFanout(e, lo, hi)
-		}
-		fan := func(e guest.TaskEnv) {
+		})
+		fan = ab.Fn("fanout", func(e guest.TaskEnv) {
 			enqueueFanout(e, e.Arg(0), e.Arg(1))
-		}
+		})
 
 		roots := make([]guest.TaskDesc, b.stim.Rounds)
 		for r := range roots {
-			roots[r] = guest.TaskDesc{Fn: 0, TS: uint64(r) * period, Args: [3]uint64{0, g.nIn}}
+			roots[r] = guest.TaskDesc{Fn: spawn, TS: uint64(r) * period, Args: [3]uint64{0, g.nIn}}
 		}
-		return []guest.TaskFn{spawner, inputSet, eval, fan}, roots
+		return roots
 	}
 	app.Verify = func(load func(uint64) uint64) error { return b.verify(load, g) }
 	return app

@@ -79,8 +79,10 @@ func (b *KCore) SwarmApp() SwarmApp {
 	var gc graph.GuestCSR
 	var swarmCoreAddr func(uint64) uint64 // set by Build; read by Verify
 	app := SwarmApp{}
-	app.Build = func(alloc func(uint64) uint64, store func(addr, val uint64)) ([]guest.TaskFn, []guest.TaskDesc) {
+	app.Build = func(ab *guest.AppBuild) []guest.TaskDesc {
+		alloc, store := ab.Alloc, ab.Store
 		gc = graph.Pack(b.g, alloc, store)
+		var spawn, peel, relax, decr guest.FnID
 		// Conflict detection is line-granular, and the peel's per-vertex
 		// state — core number, degree counter, earliest pending entry —
 		// is its entire hot set (one read-modify-write per removed edge):
@@ -98,22 +100,23 @@ func (b *KCore) SwarmApp() SwarmApp {
 			store(degAddr(v), d)
 			store(bestAddr(v), d) // the spawner enqueues the root entry at d
 		}
-		spawner := func(e guest.TaskEnv) {
-			spawnRangeTask(e, 0, func(e guest.TaskEnv, i uint64) {
+		spawn = ab.Fn("spawn", func(e guest.TaskEnv) {
+			spawnRangeTask(e, spawn, func(e guest.TaskEnv, i uint64) {
 				d := e.Load(degAddr(i))
 				e.Work(1)
 				// Spatial hint: the vertex — its peel entries and per-vertex
 				// state line share a home tile under hint-based mappers. The
 				// low bit namespaces vertex keys from arc-block keys.
-				e.EnqueueHinted(1, d, i<<1, [3]uint64{i})
+				e.EnqueueHinted(peel, d, i<<1, [3]uint64{i})
 			})
-		}
+		})
 		// decrement(i) removes arc i's edge from its target: a tiny task
 		// whose footprint is one arc word plus one vertex line, so an
 		// abort squashes a single edge removal, not a whole
 		// neighborhood. It re-enqueues the target's peel entry when the
 		// new (degree, level) priority beats every pending one.
-		decrement := func(e guest.TaskEnv) {
+		// (Registered below, after peel/relax, to keep the table order.)
+		decrBody := func(e guest.TaskEnv) {
 			w := e.Load(gc.DstAddr(e.Arg(0)))
 			e.Work(2)
 			if e.Load(coreAddr(w)) != graph.Unvisited {
@@ -128,7 +131,7 @@ func (b *KCore) SwarmApp() SwarmApp {
 			}
 			if ts < e.Load(bestAddr(w)) {
 				e.Store(bestAddr(w), ts)
-				e.EnqueueHinted(1, ts, w<<1, [3]uint64{w})
+				e.EnqueueHinted(peel, ts, w<<1, [3]uint64{w})
 			}
 		}
 		// relaxArcs fans arcs [lo, hi) out as decrement tasks at the
@@ -144,13 +147,13 @@ func (b *KCore) SwarmApp() SwarmApp {
 				e.Work(1)
 				// Spatial hint: the arc-array block — eight consecutive
 				// decrements read the same dst-array line.
-				e.EnqueueHinted(3, e.Timestamp(), i/8<<1|1, [3]uint64{i})
+				e.EnqueueHinted(decr, e.Timestamp(), i/8<<1|1, [3]uint64{i})
 			}
 			if end < hi {
-				e.EnqueueArgs(2, e.Timestamp(), [3]uint64{end, hi})
+				e.EnqueueArgs(relax, e.Timestamp(), [3]uint64{end, hi})
 			}
 		}
-		peel := func(e guest.TaskEnv) {
+		peel = ab.Fn("peel", func(e guest.TaskEnv) {
 			v := e.Arg(0)
 			e.Work(2)
 			if e.Load(coreAddr(v)) != graph.Unvisited {
@@ -163,13 +166,13 @@ func (b *KCore) SwarmApp() SwarmApp {
 			if lo < hi {
 				relaxArcs(e, lo, hi)
 			}
-		}
-		relax := func(e guest.TaskEnv) {
+		})
+		relax = ab.Fn("relax", func(e guest.TaskEnv) {
 			relaxArcs(e, e.Arg(0), e.Arg(1))
-		}
+		})
+		decr = ab.Fn("decrement", decrBody)
 		swarmCoreAddr = coreAddr
-		return []guest.TaskFn{spawner, peel, relax, decrement},
-			[]guest.TaskDesc{{Fn: 0, TS: 0, Args: [3]uint64{0, uint64(b.g.N)}}}
+		return []guest.TaskDesc{{Fn: spawn, TS: 0, Args: [3]uint64{0, uint64(b.g.N)}}}
 	}
 	app.Verify = func(load func(uint64) uint64) error {
 		for v := 0; v < b.g.N; v++ {

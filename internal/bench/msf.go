@@ -102,18 +102,19 @@ func (b *MSF) verify(load func(uint64) uint64, g guestMSF) error {
 func (b *MSF) SwarmApp() SwarmApp {
 	var g guestMSF
 	app := SwarmApp{}
-	app.Build = func(alloc func(uint64) uint64, store func(addr, val uint64)) ([]guest.TaskFn, []guest.TaskDesc) {
-		g = b.pack(alloc, store)
-		spawner := func(e guest.TaskEnv) {
-			spawnRangeTask(e, 0, func(e guest.TaskEnv, i uint64) {
+	app.Build = func(ab *guest.AppBuild) []guest.TaskDesc {
+		g = b.pack(ab.Alloc, ab.Store)
+		var spawn, edge guest.FnID
+		spawn = ab.Fn("spawn", func(e guest.TaskEnv) {
+			spawnRangeTask(e, spawn, func(e guest.TaskEnv, i uint64) {
 				w := e.Load(g.ew.Addr(i))
 				// Spatial hint: the edge-array block — eight consecutive
 				// edge tasks share the eu/ev/ew/inMSF cache lines, so
 				// hint-based mappers keep each block's lines tile-local.
-				e.EnqueueHinted(1, w, i/8, [3]uint64{i})
+				e.EnqueueHinted(edge, w, i/8, [3]uint64{i})
 			})
-		}
-		edgeTask := func(e guest.TaskEnv) {
+		})
+		edge = ab.Fn("edge", func(e guest.TaskEnv) {
 			i := e.Arg(0)
 			u := e.Load(g.eu.Addr(i))
 			v := e.Load(g.ev.Addr(i))
@@ -121,9 +122,8 @@ func (b *MSF) SwarmApp() SwarmApp {
 			if g.uf.Union(e, u, v) {
 				e.Store(g.inMSF.Addr(i), 1)
 			}
-		}
-		return []guest.TaskFn{spawner, edgeTask},
-			[]guest.TaskDesc{{Fn: 0, TS: 0, Args: [3]uint64{0, g.m}}}
+		})
+		return []guest.TaskDesc{{Fn: spawn, TS: 0, Args: [3]uint64{0, g.m}}}
 	}
 	app.Verify = func(load func(uint64) uint64) error { return b.verify(load, g) }
 	return app

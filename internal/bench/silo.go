@@ -91,62 +91,88 @@ func hintTxn(i uint64) uint64         { return i << 2 }
 func hintDistrict(w, d uint64) uint64 { return (w<<8|d)<<2 | 1 }
 func hintItem(item uint64) uint64     { return item<<2 | 2 }
 
-// SwarmApp implements Benchmark. Task function table:
-//
-//	0 spawner     fan out transaction roots
-//	1 txnRoot     read parameters, enqueue the per-tuple pipeline
-//	2 noDistrict  NewOrder: take an order id (district tuple)
-//	3 noInsert    NewOrder: write the order row
-//	4 noPush      NewOrder: push onto the new-order queue
-//	5 noItemSpawn NewOrder: fan out per-item chains
-//	6 noItemRead  NewOrder: read the item price
-//	7 noStock     NewOrder: update one stock tuple
-//	8 noLine      NewOrder: write one order line
-//	9-11 payW/payD/payC   Payment tuples
-//	12 osCust, 13 osDistrict, 14 osScan   OrderStatus reads
-//	15 dlvSpawn, 16 dlvPop, 17 dlvOrder, 18 dlvLine, 19 dlvCust  Delivery
-//	20 slDistrict, 21 slScan   StockLevel reads
+// Task-function handles for the Swarm decomposition, in registration
+// order. The table is dense (every transaction type's pipeline stages),
+// so the handles are package constants rather than Build-local variables;
+// siloFnNames aligns positionally for registration.
+const (
+	siloSpawn       guest.FnID = iota // fan out transaction roots
+	siloTxnRoot                       // read parameters, enqueue the per-tuple pipeline
+	siloNoDistrict                    // NewOrder: take an order id (district tuple)
+	siloNoInsert                      // NewOrder: write the order row
+	siloNoPush                        // NewOrder: push onto the new-order queue
+	siloNoItemSpawn                   // NewOrder: fan out per-item chains
+	siloNoItemRead                    // NewOrder: read the item price
+	siloNoStock                       // NewOrder: update one stock tuple
+	siloNoLine                        // NewOrder: write one order line
+	siloPayW                          // Payment: warehouse tuple
+	siloPayD                          // Payment: district tuple
+	siloPayC                          // Payment: customer tuple
+	siloOsCust                        // OrderStatus: customer read
+	siloOsDistrict                    // OrderStatus: district read
+	siloOsScan                        // OrderStatus: scan one order's lines
+	siloDlvSpawn                      // Delivery: fan out districts
+	siloDlvPop                        // Delivery: pop the new-order queue
+	siloDlvOrder                      // Delivery: the order tuple
+	siloDlvLine                       // Delivery: one order-line tuple
+	siloDlvCust                       // Delivery: the customer tuple
+	siloSlDistrict                    // StockLevel: district read
+	siloSlScan                        // StockLevel: scan one order's stock
+	siloNumFns
+)
+
+var siloFnNames = [siloNumFns]string{
+	"spawn", "txnRoot",
+	"noDistrict", "noInsert", "noPush", "noItemSpawn", "noItemRead", "noStock", "noLine",
+	"payWarehouse", "payDistrict", "payCustomer",
+	"osCustomer", "osDistrict", "osScan",
+	"dlvSpawn", "dlvPop", "dlvOrder", "dlvLine", "dlvCustomer",
+	"slDistrict", "slScan",
+}
+
+// SwarmApp implements Benchmark; the function table is the constants
+// above, one entry per transaction pipeline stage.
 func (b *Silo) SwarmApp() SwarmApp {
 	var l *tpcc.Layout
 	app := SwarmApp{}
-	app.Build = func(alloc func(uint64) uint64, store func(addr, val uint64)) ([]guest.TaskFn, []guest.TaskDesc) {
-		l = tpcc.Pack(b.sc, b.txns, alloc, store)
+	app.Build = func(ab *guest.AppBuild) []guest.TaskDesc {
+		l = tpcc.Pack(b.sc, b.txns, ab.Alloc, ab.Store)
 
 		txnBase := func(e guest.TaskEnv) (base uint64, i uint64) {
 			i = e.Arg(0)
 			return l.TxnAddr(i), i
 		}
 
-		fns := make([]guest.TaskFn, 22)
-		fns[0] = func(e guest.TaskEnv) {
-			spawnRangeTask(e, 0, func(e guest.TaskEnv, i uint64) {
-				e.EnqueueHinted(1, i<<tsBits, hintTxn(i), [3]uint64{i})
+		fns := make([]guest.TaskFn, siloNumFns)
+		fns[siloSpawn] = func(e guest.TaskEnv) {
+			spawnRangeTask(e, siloSpawn, func(e guest.TaskEnv, i uint64) {
+				e.EnqueueHinted(siloTxnRoot, i<<tsBits, hintTxn(i), [3]uint64{i})
 			})
 		}
-		fns[1] = func(e guest.TaskEnv) { // txnRoot
+		fns[siloTxnRoot] = func(e guest.TaskEnv) { // txnRoot
 			base, i := txnBase(e)
 			typ := tpcc.TxnType(e.Load(base))
 			ts := e.Timestamp()
 			e.Work(150)
 			switch typ {
 			case tpcc.NewOrder:
-				e.EnqueueHinted(2, ts+1, hintTxn(i), [3]uint64{i})
+				e.EnqueueHinted(siloNoDistrict, ts+1, hintTxn(i), [3]uint64{i})
 			case tpcc.Payment:
-				e.EnqueueHinted(9, ts+1, hintTxn(i), [3]uint64{i})
-				e.EnqueueHinted(10, ts+2, hintTxn(i), [3]uint64{i})
-				e.EnqueueHinted(11, ts+3, hintTxn(i), [3]uint64{i})
+				e.EnqueueHinted(siloPayW, ts+1, hintTxn(i), [3]uint64{i})
+				e.EnqueueHinted(siloPayD, ts+2, hintTxn(i), [3]uint64{i})
+				e.EnqueueHinted(siloPayC, ts+3, hintTxn(i), [3]uint64{i})
 			case tpcc.OrderStatus:
-				e.EnqueueHinted(12, ts+1, hintTxn(i), [3]uint64{i})
-				e.EnqueueHinted(13, ts+2, hintTxn(i), [3]uint64{i})
+				e.EnqueueHinted(siloOsCust, ts+1, hintTxn(i), [3]uint64{i})
+				e.EnqueueHinted(siloOsDistrict, ts+2, hintTxn(i), [3]uint64{i})
 			case tpcc.Delivery:
-				e.EnqueueHinted(15, ts+1, hintTxn(i), [3]uint64{i, 0})
+				e.EnqueueHinted(siloDlvSpawn, ts+1, hintTxn(i), [3]uint64{i, 0})
 			case tpcc.StockLevel:
-				e.EnqueueHinted(20, ts+1, hintTxn(i), [3]uint64{i})
+				e.EnqueueHinted(siloSlDistrict, ts+1, hintTxn(i), [3]uint64{i})
 			}
 		}
 
 		// --- NewOrder pipeline ---
-		fns[2] = func(e guest.TaskEnv) { // noDistrict: the district tuple
+		fns[siloNoDistrict] = func(e guest.TaskEnv) { // noDistrict: the district tuple
 			base, i := txnBase(e)
 			w := e.Load(base + 1*8)
 			d := e.Load(base + 2*8)
@@ -159,11 +185,11 @@ func (b *Silo) SwarmApp() SwarmApp {
 				panic("silo: order table overflow; raise Scale.MaxOrders")
 			}
 			ts := e.Timestamp()
-			e.EnqueueHinted(3, ts+1, hintDistrict(w, d), [3]uint64{i, oid})
-			e.EnqueueHinted(4, ts+2, hintDistrict(w, d), [3]uint64{i, oid})
-			e.EnqueueHinted(5, ts+3, hintTxn(i), [3]uint64{i, oid, 0})
+			e.EnqueueHinted(siloNoInsert, ts+1, hintDistrict(w, d), [3]uint64{i, oid})
+			e.EnqueueHinted(siloNoPush, ts+2, hintDistrict(w, d), [3]uint64{i, oid})
+			e.EnqueueHinted(siloNoItemSpawn, ts+3, hintTxn(i), [3]uint64{i, oid, 0})
 		}
-		fns[3] = func(e guest.TaskEnv) { // noInsert: the order tuple
+		fns[siloNoInsert] = func(e guest.TaskEnv) { // noInsert: the order tuple
 			base, _ := txnBase(e)
 			w := e.Load(base + 1*8)
 			d := e.Load(base + 2*8)
@@ -175,7 +201,7 @@ func (b *Silo) SwarmApp() SwarmApp {
 			e.Store(oAddr+tpcc.FOOlCnt*8, n)
 			e.Work(250)
 		}
-		fns[4] = func(e guest.TaskEnv) { // noPush: the new-order queue tuple
+		fns[siloNoPush] = func(e guest.TaskEnv) { // noPush: the new-order queue tuple
 			base, _ := txnBase(e)
 			w := e.Load(base + 1*8)
 			d := e.Load(base + 2*8)
@@ -186,7 +212,7 @@ func (b *Silo) SwarmApp() SwarmApp {
 			e.Store(nq+tpcc.FNOTail*8, tail+1)
 			e.Work(250)
 		}
-		fns[5] = func(e guest.TaskEnv) { // noItemSpawn: fan out item chains
+		fns[siloNoItemSpawn] = func(e guest.TaskEnv) { // noItemSpawn: fan out item chains
 			base, i := txnBase(e)
 			oid := e.Arg(1)
 			j0 := e.Arg(2)
@@ -198,21 +224,21 @@ func (b *Silo) SwarmApp() SwarmApp {
 				end = n
 			}
 			for j := j0; j < end; j++ {
-				e.EnqueueHinted(6, ts+2+3*j, hintTxn(i), [3]uint64{i, packOidJ(oid, j)})
+				e.EnqueueHinted(siloNoItemRead, ts+2+3*j, hintTxn(i), [3]uint64{i, packOidJ(oid, j)})
 			}
 			if end < n {
-				e.EnqueueHinted(5, ts, hintTxn(i), [3]uint64{i, oid, end})
+				e.EnqueueHinted(siloNoItemSpawn, ts, hintTxn(i), [3]uint64{i, oid, end})
 			}
 		}
-		fns[6] = func(e guest.TaskEnv) { // noItemRead: the item tuple
+		fns[siloNoItemRead] = func(e guest.TaskEnv) { // noItemRead: the item tuple
 			base, i := txnBase(e)
 			oid, j := unpackOidJ(e.Arg(1))
 			item := e.Load(base + (8+3*j)*8)
 			price := e.Load(l.ItemAddr(item) + tpcc.FIPrice*8)
 			e.Work(250)
-			e.EnqueueHinted(7, e.Timestamp()+1, hintItem(item), [3]uint64{i, packOidJ(oid, j), price})
+			e.EnqueueHinted(siloNoStock, e.Timestamp()+1, hintItem(item), [3]uint64{i, packOidJ(oid, j), price})
 		}
-		fns[7] = func(e guest.TaskEnv) { // noStock: one stock tuple
+		fns[siloNoStock] = func(e guest.TaskEnv) { // noStock: one stock tuple
 			base, i := txnBase(e)
 			_, j := unpackOidJ(e.Arg(1))
 			w := e.Load(base + 1*8)
@@ -235,9 +261,9 @@ func (b *Silo) SwarmApp() SwarmApp {
 			}
 			e.Work(250)
 			price := e.Arg(2)
-			e.EnqueueHinted(8, e.Timestamp()+1, hintTxn(i), [3]uint64{i, e.Arg(1), qty * price})
+			e.EnqueueHinted(siloNoLine, e.Timestamp()+1, hintTxn(i), [3]uint64{i, e.Arg(1), qty * price})
 		}
-		fns[8] = func(e guest.TaskEnv) { // noLine: one order-line tuple
+		fns[siloNoLine] = func(e guest.TaskEnv) { // noLine: one order-line tuple
 			base, _ := txnBase(e)
 			oid, j := unpackOidJ(e.Arg(1))
 			amount := e.Arg(2)
@@ -256,7 +282,7 @@ func (b *Silo) SwarmApp() SwarmApp {
 		}
 
 		// --- Payment ---
-		fns[9] = func(e guest.TaskEnv) { // warehouse tuple
+		fns[siloPayW] = func(e guest.TaskEnv) { // warehouse tuple
 			base, _ := txnBase(e)
 			w := e.Load(base + 1*8)
 			a := e.Load(base + 4*8)
@@ -264,7 +290,7 @@ func (b *Silo) SwarmApp() SwarmApp {
 			e.Store(wAddr+tpcc.FWYtd*8, e.Load(wAddr+tpcc.FWYtd*8)+a)
 			e.Work(250)
 		}
-		fns[10] = func(e guest.TaskEnv) { // district tuple
+		fns[siloPayD] = func(e guest.TaskEnv) { // district tuple
 			base, _ := txnBase(e)
 			w := e.Load(base + 1*8)
 			d := e.Load(base + 2*8)
@@ -273,7 +299,7 @@ func (b *Silo) SwarmApp() SwarmApp {
 			e.Store(dAddr+tpcc.FDYtd*8, e.Load(dAddr+tpcc.FDYtd*8)+a)
 			e.Work(250)
 		}
-		fns[11] = func(e guest.TaskEnv) { // customer tuple
+		fns[siloPayC] = func(e guest.TaskEnv) { // customer tuple
 			base, _ := txnBase(e)
 			w := e.Load(base + 1*8)
 			d := e.Load(base + 2*8)
@@ -287,7 +313,7 @@ func (b *Silo) SwarmApp() SwarmApp {
 		}
 
 		// --- OrderStatus (read-only) ---
-		fns[12] = func(e guest.TaskEnv) {
+		fns[siloOsCust] = func(e guest.TaskEnv) {
 			base, _ := txnBase(e)
 			w := e.Load(base + 1*8)
 			d := e.Load(base + 2*8)
@@ -295,17 +321,17 @@ func (b *Silo) SwarmApp() SwarmApp {
 			_ = e.Load(l.CustomerAddr(w, d, c) + tpcc.FCBalance*8)
 			e.Work(250)
 		}
-		fns[13] = func(e guest.TaskEnv) {
+		fns[siloOsDistrict] = func(e guest.TaskEnv) {
 			base, i := txnBase(e)
 			w := e.Load(base + 1*8)
 			d := e.Load(base + 2*8)
 			oid := e.Load(l.DistrictAddr(w, d) + tpcc.FDNextOID*8)
 			e.Work(250)
 			if oid > 0 {
-				e.EnqueueHinted(14, e.Timestamp()+1, hintDistrict(w, d), [3]uint64{i, oid - 1})
+				e.EnqueueHinted(siloOsScan, e.Timestamp()+1, hintDistrict(w, d), [3]uint64{i, oid - 1})
 			}
 		}
-		fns[14] = func(e guest.TaskEnv) { // scan one order's lines
+		fns[siloOsScan] = func(e guest.TaskEnv) { // scan one order's lines
 			base, _ := txnBase(e)
 			w := e.Load(base + 1*8)
 			d := e.Load(base + 2*8)
@@ -321,7 +347,7 @@ func (b *Silo) SwarmApp() SwarmApp {
 		}
 
 		// --- Delivery ---
-		fns[15] = func(e guest.TaskEnv) { // fan out districts (7 + chain)
+		fns[siloDlvSpawn] = func(e guest.TaskEnv) { // fan out districts (7 + chain)
 			_, i := txnBase(e)
 			d0 := e.Arg(1)
 			ts := e.Timestamp()
@@ -331,13 +357,13 @@ func (b *Silo) SwarmApp() SwarmApp {
 				end = uint64(l.Scale.Districts)
 			}
 			for d := d0; d < end; d++ {
-				e.EnqueueHinted(16, ts+1+d*5, hintTxn(i), [3]uint64{i, d})
+				e.EnqueueHinted(siloDlvPop, ts+1+d*5, hintTxn(i), [3]uint64{i, d})
 			}
 			if end < uint64(l.Scale.Districts) {
-				e.EnqueueHinted(15, ts, hintTxn(i), [3]uint64{i, end})
+				e.EnqueueHinted(siloDlvSpawn, ts, hintTxn(i), [3]uint64{i, end})
 			}
 		}
-		fns[16] = func(e guest.TaskEnv) { // dlvPop: the queue tuple
+		fns[siloDlvPop] = func(e guest.TaskEnv) { // dlvPop: the queue tuple
 			base, i := txnBase(e)
 			w := e.Load(base + 1*8)
 			d := e.Arg(1)
@@ -350,9 +376,9 @@ func (b *Silo) SwarmApp() SwarmApp {
 			}
 			oid := e.Load(l.NORingAddr(w, d, head))
 			e.Store(nq+tpcc.FNOHead*8, head+1)
-			e.EnqueueHinted(17, e.Timestamp()+1, hintDistrict(w, d), [3]uint64{i, packDlv(d, oid, 0, 0, 0)})
+			e.EnqueueHinted(siloDlvOrder, e.Timestamp()+1, hintDistrict(w, d), [3]uint64{i, packDlv(d, oid, 0, 0, 0)})
 		}
-		fns[17] = func(e guest.TaskEnv) { // dlvOrder: the order tuple
+		fns[siloDlvOrder] = func(e guest.TaskEnv) { // dlvOrder: the order tuple
 			base, i := txnBase(e)
 			d, oid, _, _, _ := unpackDlv(e.Arg(1))
 			w := e.Load(base + 1*8)
@@ -362,9 +388,9 @@ func (b *Silo) SwarmApp() SwarmApp {
 			cnt := e.Load(oAddr + tpcc.FOOlCnt*8)
 			cid := e.Load(oAddr + tpcc.FOCid*8)
 			e.Work(250)
-			e.EnqueueHinted(18, e.Timestamp()+1, hintDistrict(w, d), [3]uint64{i, packDlv(d, oid, cid, cnt, 0), 0})
+			e.EnqueueHinted(siloDlvLine, e.Timestamp()+1, hintDistrict(w, d), [3]uint64{i, packDlv(d, oid, cid, cnt, 0), 0})
 		}
-		fns[18] = func(e guest.TaskEnv) { // dlvLine: one order-line tuple
+		fns[siloDlvLine] = func(e guest.TaskEnv) { // dlvLine: one order-line tuple
 			base, i := txnBase(e)
 			d, oid, cid, cnt, j := unpackDlv(e.Arg(1))
 			acc := e.Arg(2)
@@ -377,12 +403,12 @@ func (b *Silo) SwarmApp() SwarmApp {
 				e.Work(8)
 			}
 			if j+1 < cnt {
-				e.EnqueueHinted(18, e.Timestamp(), hintDistrict(w, d), [3]uint64{i, packDlv(d, oid, cid, cnt, j+1), acc})
+				e.EnqueueHinted(siloDlvLine, e.Timestamp(), hintDistrict(w, d), [3]uint64{i, packDlv(d, oid, cid, cnt, j+1), acc})
 			} else {
-				e.EnqueueHinted(19, e.Timestamp()+1, hintDistrict(w, d), [3]uint64{i, packDlv(d, oid, cid, cnt, 0), acc})
+				e.EnqueueHinted(siloDlvCust, e.Timestamp()+1, hintDistrict(w, d), [3]uint64{i, packDlv(d, oid, cid, cnt, 0), acc})
 			}
 		}
-		fns[19] = func(e guest.TaskEnv) { // dlvCust: the customer tuple
+		fns[siloDlvCust] = func(e guest.TaskEnv) { // dlvCust: the customer tuple
 			base, _ := txnBase(e)
 			d, _, cid, _, _ := unpackDlv(e.Arg(1))
 			total := e.Arg(2)
@@ -394,7 +420,7 @@ func (b *Silo) SwarmApp() SwarmApp {
 		}
 
 		// --- StockLevel (read-only) ---
-		fns[20] = func(e guest.TaskEnv) {
+		fns[siloSlDistrict] = func(e guest.TaskEnv) {
 			base, i := txnBase(e)
 			w := e.Load(base + 1*8)
 			d := e.Load(base + 2*8)
@@ -405,10 +431,10 @@ func (b *Silo) SwarmApp() SwarmApp {
 				lo = next - 8
 			}
 			for o := lo; o < next; o++ {
-				e.EnqueueHinted(21, e.Timestamp()+1, hintDistrict(w, d), [3]uint64{i, o})
+				e.EnqueueHinted(siloSlScan, e.Timestamp()+1, hintDistrict(w, d), [3]uint64{i, o})
 			}
 		}
-		fns[21] = func(e guest.TaskEnv) { // scan one order's stock levels
+		fns[siloSlScan] = func(e guest.TaskEnv) { // scan one order's stock levels
 			base, _ := txnBase(e)
 			w := e.Load(base + 1*8)
 			d := e.Load(base + 2*8)
@@ -428,7 +454,10 @@ func (b *Silo) SwarmApp() SwarmApp {
 			_ = low
 		}
 
-		return fns, []guest.TaskDesc{{Fn: 0, TS: 0, Args: [3]uint64{0, uint64(len(b.txns))}}}
+		for i, fn := range fns {
+			ab.Fn(siloFnNames[i], fn)
+		}
+		return []guest.TaskDesc{{Fn: siloSpawn, TS: 0, Args: [3]uint64{0, uint64(len(b.txns))}}}
 	}
 	app.Verify = func(load func(uint64) uint64) error {
 		_, refLoad := tpcc.Reference(b.sc, b.txns)

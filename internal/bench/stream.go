@@ -140,9 +140,10 @@ func (b *Stream) verify(load func(uint64) uint64, g guestStream) error {
 func (b *Stream) SwarmApp() SwarmApp {
 	var g guestStream
 	app := SwarmApp{}
-	app.Build = func(alloc func(uint64) uint64, store func(addr, val uint64)) ([]guest.TaskFn, []guest.TaskDesc) {
-		g = b.pack(alloc, store)
-		tuple := func(e guest.TaskEnv) {
+	app.Build = func(ab *guest.AppBuild) []guest.TaskDesc {
+		g = b.pack(ab.Alloc, ab.Store)
+		var tuple, flush guest.FnID
+		tuple = ab.Fn("tuple", func(e guest.TaskEnv) {
 			i, end := e.Arg(0), e.Arg(1)
 			k := e.Load(g.key.Addr(i))
 			v := e.Load(g.val.Addr(i))
@@ -153,10 +154,10 @@ func (b *Stream) SwarmApp() SwarmApp {
 				// Spatial hint: the chain's end index is unique per source,
 				// so a source's whole tuple chain — and its key/val/ts array
 				// lines — shares one home tile under hint-based mappers.
-				e.EnqueueHinted(0, e.Load(g.ts.Addr(i+1)), end, [3]uint64{i + 1, end})
+				e.EnqueueHinted(tuple, e.Load(g.ts.Addr(i+1)), end, [3]uint64{i + 1, end})
 			}
-		}
-		flush := func(e guest.TaskEnv) {
+		})
+		flush = ab.Fn("flush", func(e guest.TaskEnv) {
 			w := e.Arg(0)
 			slot := g.ring.SlotFor(w)
 			e.Work(4)
@@ -165,18 +166,18 @@ func (b *Stream) SwarmApp() SwarmApp {
 				e.Store(g.result.Addr(w*b.keys+k), g.ring.Drain(e, slot, k))
 			}
 			if w+1 < b.nWin {
-				e.EnqueueArgs(1, (w+2)*b.window, [3]uint64{w + 1})
+				e.EnqueueArgs(flush, (w+2)*b.window, [3]uint64{w + 1})
 			}
-		}
+		})
 		roots := make([]guest.TaskDesc, 0, b.nSrc+1)
 		for s := 0; s < b.nSrc; s++ {
 			lo, hi := b.srcOff[s], b.srcOff[s+1]
 			if lo < hi {
-				roots = append(roots, guest.TaskDesc{Fn: 0, TS: b.ts[lo], Args: [3]uint64{lo, hi}}.WithHint(hi))
+				roots = append(roots, guest.TaskDesc{Fn: tuple, TS: b.ts[lo], Args: [3]uint64{lo, hi}}.WithHint(hi))
 			}
 		}
-		roots = append(roots, guest.TaskDesc{Fn: 1, TS: b.window, Args: [3]uint64{0}})
-		return []guest.TaskFn{tuple, flush}, roots
+		roots = append(roots, guest.TaskDesc{Fn: flush, TS: b.window, Args: [3]uint64{0}})
+		return roots
 	}
 	app.Verify = func(load func(uint64) uint64) error { return b.verify(load, g) }
 	return app

@@ -330,17 +330,17 @@ func (r *refEnv) Alloc(n uint64) uint64 { a := r.brk; r.brk += (n + 7) &^ 7; ret
 func (r *refEnv) Free(uint64, uint64)   {}
 func (r *refEnv) Timestamp() uint64     { return r.desc.TS }
 func (r *refEnv) Arg(i int) uint64      { return r.desc.Args[i] }
-func (r *refEnv) Enqueue(fn int, ts uint64, args ...uint64) {
+func (r *refEnv) Enqueue(fn guest.FnID, ts uint64, args ...uint64) {
 	var a [3]uint64
 	copy(a[:], args)
 	r.EnqueueArgs(fn, ts, a)
 }
 
-func (r *refEnv) EnqueueArgs(fn int, ts uint64, args [3]uint64) {
+func (r *refEnv) EnqueueArgs(fn guest.FnID, ts uint64, args [3]uint64) {
 	heap.Push(r.queue, guest.TaskDesc{Fn: fn, TS: ts, Args: args})
 }
 
-func (r *refEnv) EnqueueHinted(fn int, ts uint64, _ uint64, args [3]uint64) {
+func (r *refEnv) EnqueueHinted(fn guest.FnID, ts uint64, _ uint64, args [3]uint64) {
 	r.EnqueueArgs(fn, ts, args) // the reference executor has no tiles
 }
 

@@ -18,10 +18,23 @@ import (
 // Program is a Swarm application: a table of task functions plus a Setup
 // hook that initializes guest memory and enqueues the root task(s). Setup
 // runs before the measured parallel region (the paper fast-forwards through
-// initialization, §5).
+// initialization, §5). FnNames, when present, aligns positionally with Fns
+// and names the functions in diagnostics (named registration fills it; see
+// guest.FnTable).
 type Program struct {
-	Fns   []guest.TaskFn
-	Setup func(*Machine)
+	Fns     []guest.TaskFn
+	FnNames []string
+	Setup   func(*Machine)
+}
+
+// FnName returns a diagnostic name for a function handle: the registered
+// name when the program was built through named registration, else a
+// positional placeholder.
+func (p *Program) FnName(id guest.FnID) string {
+	if int(id) >= 0 && int(id) < len(p.FnNames) {
+		return fmt.Sprintf("%q (#%d)", p.FnNames[id], int(id))
+	}
+	return fmt.Sprintf("#%d", int(id))
 }
 
 // cpu is one simple core (IPC-1 except misses and Swarm instructions).
@@ -139,6 +152,13 @@ type Machine struct {
 	st      internalStats
 	tracer  *tracer
 	started bool
+	running bool
+
+	// Phase bookkeeping for resumable (session) execution: phase counts
+	// completed RunPhase calls, snap holds the cumulative counters at the
+	// current phase's start (phase deltas are diffs against it).
+	phase int
+	snap  phaseSnap
 }
 
 // NewMachine builds a machine for the config and program.
@@ -202,7 +222,7 @@ func (m *Machine) SetupAlloc(nBytes uint64) uint64 { return m.heap.AllocLineAlig
 func (m *Machine) Now() uint64 { return m.eng.Now() }
 
 // EnqueueRoot inserts a parentless task during Setup (zero cost).
-func (m *Machine) EnqueueRoot(fn int, ts uint64, args ...uint64) {
+func (m *Machine) EnqueueRoot(fn guest.FnID, ts uint64, args ...uint64) {
 	d := guest.TaskDesc{Fn: fn, TS: ts}
 	if len(args) > 3 {
 		panic("core: root tasks take at most 3 argument words")
@@ -222,29 +242,112 @@ func (m *Machine) EnqueueRootDesc(d guest.TaskDesc) {
 	}
 }
 
-// Run executes the program to completion and returns statistics.
+// Run executes the program to completion and returns statistics: the
+// one-shot path, equivalent to Start followed by a single RunPhase.
 func (m *Machine) Run() (Stats, error) {
+	if err := m.Start(); err != nil {
+		return Stats{}, err
+	}
+	ph, err := m.RunPhase()
+	if err != nil {
+		return Stats{}, err
+	}
+	return ph.Cumulative, nil
+}
+
+// Start runs the program's Setup hook — guest-memory layout plus the root
+// enqueues — without executing anything. After Start, the machine is
+// quiescent: callers may inspect QueuedTasks, enqueue further roots, and
+// drive execution phase by phase with RunPhase.
+func (m *Machine) Start() error {
 	if m.started {
-		return Stats{}, errors.New("core: machine already ran")
+		return errors.New("core: machine already ran")
 	}
 	m.started = true
+	m.done = true // quiescent until a phase runs
 	m.prog.Setup(m)
+	return nil
+}
+
+// Quiesced reports whether the machine is at a quiescent point: started,
+// not mid-phase, and with no speculative state in flight. Guest memory
+// reads, setup-cost mutation and root enqueues are valid exactly here.
+func (m *Machine) Quiesced() bool { return m.started && !m.running }
+
+// QueuedTasks returns the number of task descriptors waiting anywhere in
+// the machine — hardware task queues, memory overflow buffers and spilled
+// batches. At a quiescent point this is exactly the work the next RunPhase
+// would execute.
+func (m *Machine) QueuedTasks() int {
+	n := 0
+	for _, tt := range m.tiles {
+		n += tt.nTasks + len(tt.overflow)
+	}
+	for _, b := range m.spillStore {
+		n += len(b.descs)
+	}
+	return n
+}
+
+// SetupFree releases guest memory with no simulated cost; valid at
+// quiescent points (setup and between phases), where no task can hold a
+// speculative reference to the region.
+func (m *Machine) SetupFree(addr, nBytes uint64) {
+	m.heap.Free(0, addr, nBytes)
+	m.heap.ReleaseQuarantine(0)
+}
+
+// RunPhase executes queued work to quiescence (§4.1's termination
+// condition: all queues empty, all tasks committed) and returns the
+// phase's statistics. It is resumable: after it returns, callers may
+// mutate guest memory at setup cost, enqueue new root tasks, and call
+// RunPhase again — the clock, caches and queue state carry over, so later
+// phases run against the warmed machine.
+func (m *Machine) RunPhase() (PhaseStats, error) {
+	if !m.started {
+		return PhaseStats{}, errors.New("core: RunPhase before Start")
+	}
+	if m.running {
+		return PhaseStats{}, errors.New("core: RunPhase re-entered mid-phase")
+	}
+	m.phase++
+	m.running = true
+	m.done = false
+	m.snap = m.takeSnap()
 	for _, c := range m.cores {
-		m.scheduleDispatch(c, 0)
+		if c.task == nil {
+			m.scheduleDispatch(c, 0)
+		}
 	}
 	m.eng.After(m.cfg.GVTPeriod, m.gvtFn)
 	if m.tracer != nil {
-		m.traceFn = m.tracer.sample
+		if m.traceFn == nil {
+			m.traceFn = m.tracer.sample
+		}
 		m.eng.After(m.cfg.TraceInterval, m.traceFn)
 	}
-	if err := m.eng.Run(m.cfg.MaxCycles); err != nil {
-		return Stats{}, fmt.Errorf("core: %w (likely livelock: %s)", err, m.describeState())
+	limit := m.cfg.MaxCycles
+	if limit != 0 {
+		limit += m.snap.cycle // per-phase budget, absolute engine cycle
+	}
+	err := m.eng.Run(limit)
+	m.running = false
+	if err != nil {
+		return PhaseStats{}, fmt.Errorf("core: %w (likely livelock: %s)", err, m.describeState())
 	}
 	if !m.done {
-		return Stats{}, fmt.Errorf("core: simulation stalled at cycle %d: %s", m.eng.Now(), m.describeState())
+		return PhaseStats{}, fmt.Errorf("core: simulation stalled at cycle %d: %s", m.eng.Now(), m.describeState())
 	}
-	return m.collectStats(), nil
+	return m.phaseStats(), nil
 }
+
+// Phase returns the number of completed phases.
+func (m *Machine) Phase() int { return m.phase }
+
+// Snapshot returns cumulative statistics at a quiescent point (after
+// Start, between phases, or after the final phase) without disturbing the
+// machine: sessions sample mid-run occupancy/commit/NoC state here.
+func (m *Machine) Snapshot() Stats { return m.collectStats() }
 
 func (m *Machine) describeState() string {
 	tq, cq, fw, idle, ovf := 0, 0, 0, 0, 0
@@ -664,8 +767,8 @@ func (m *Machine) startBody(c *cpu, t *task) {
 		m.runSplitter(c, t)
 		return
 	}
-	if t.desc.Fn < 0 || t.desc.Fn >= len(m.prog.Fns) {
-		panic(fmt.Sprintf("core: task function %d out of range", t.desc.Fn))
+	if int(t.desc.Fn) < 0 || int(t.desc.Fn) >= len(m.prog.Fns) {
+		panic(fmt.Sprintf("core: task function %s out of range", m.prog.FnName(t.desc.Fn)))
 	}
 	t.co = guest.StartTask(m.prog.Fns[t.desc.Fn], t.desc)
 	m.resumeTask(c, t, guest.Result{})

@@ -102,6 +102,14 @@ func (p propProgram) run(id uint64, load func(uint64) uint64, store func(uint64,
 // the specification Swarm's parallel execution must match.
 func (p propProgram) serialOracle() map[uint64]uint64 {
 	mem := map[uint64]uint64{}
+	p.serialOracleInto(mem)
+	return mem
+}
+
+// serialOracleInto executes the program in timestamp order over existing
+// memory — the phase-2 specification when a batch is injected after
+// quiescence.
+func (p propProgram) serialOracleInto(mem map[uint64]uint64) {
 	// Timestamps are the task ids + 1 and children always have larger ids,
 	// so executing in id order IS timestamp order, and every task is
 	// reachable exactly once (forest).
@@ -111,7 +119,6 @@ func (p propProgram) serialOracle() map[uint64]uint64 {
 			func(a, v uint64) { mem[a] = v },
 			func(int) {})
 	}
-	return mem
 }
 
 func (p propProgram) program(base *uint64) *Program {
@@ -227,6 +234,127 @@ func TestCommitProtocolProperties(t *testing.T) {
 			}
 			if st.Aborts == 0 && seed <= 5 {
 				t.Logf("seed %d: no aborts — program may be too conflict-free to be interesting", seed)
+			}
+		})
+	}
+}
+
+// TestCommitProtocolPhasedInjection extends the commit-protocol properties
+// across quiescence: a first random forest runs to quiescence, a second
+// batch of roots is injected into the same (warm) machine, and the second
+// phase runs over memory the first one produced. The protocol properties
+// must hold in every phase, and the final memory must equal the serial
+// oracle of phase 1 followed by phase 2 — even though phase 2's
+// timestamps restart below already-committed history.
+func TestCommitProtocolPhasedInjection(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed * 1001))
+			p1 := genProgram(rng, 40+rng.Intn(30), 8)
+			p2 := genProgram(rng, 30+rng.Intn(30), 8)
+
+			committed := map[uint64]bool{}
+			discarded := map[uint64]bool{}
+			var cascadeErr, commitErr error
+			debugCommitHook = func(m *Machine, tk *task) {
+				if tk.parent != nil && commitErr == nil {
+					commitErr = fmt.Errorf("task ts=%d committed before its parent ts=%d",
+						tk.desc.TS, tk.parent.desc.TS)
+				}
+				committed[tk.seq] = true
+			}
+			debugAbortHook = func(m *Machine, victim *task, discard bool) {
+				for _, ch := range victim.children {
+					discarded[ch.seq] = true
+					if ch.state == taskCommitted && cascadeErr == nil {
+						cascadeErr = fmt.Errorf("aborting ts=%d but child ts=%d already committed",
+							victim.desc.TS, ch.desc.TS)
+					}
+				}
+			}
+			defer func() { debugCommitHook, debugAbortHook = nil, nil }()
+
+			var base uint64
+			prog := &Program{}
+			prog.Setup = func(m *Machine) {
+				base = m.SetupAlloc(8 * 8)
+				body := func(p propProgram, self guest.FnID) guest.TaskFn {
+					return func(e guest.TaskEnv) {
+						id := e.Arg(0)
+						e.Work(2)
+						p.run(id,
+							func(a uint64) uint64 { return e.Load(base + a) },
+							func(a, v uint64) { e.Store(base+a, v) },
+							func(c int) { e.EnqueueArgs(self, p.tasks[c].ts, [3]uint64{uint64(c)}) })
+					}
+				}
+				prog.Fns = []guest.TaskFn{body(p1, 0), body(p2, 1)}
+				prog.FnNames = []string{"phase1", "phase2"}
+				for _, r := range p1.roots {
+					m.EnqueueRoot(0, p1.tasks[r].ts, uint64(r))
+				}
+			}
+			m, err := NewMachine(propConfig(seed), prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Start(); err != nil {
+				t.Fatal(err)
+			}
+			ph1, err := m.RunPhase()
+			if err != nil {
+				t.Fatalf("phase 1: %v", err)
+			}
+			if int(ph1.Commits) < len(p1.tasks) {
+				t.Fatalf("phase 1: only %d commits for %d tasks", ph1.Commits, len(p1.tasks))
+			}
+			// Mid-session check: phase 1's memory equals its serial oracle
+			// before any phase-2 work is injected.
+			want := p1.serialOracle()
+			for w := 0; w < p1.words; w++ {
+				addr := base + uint64(w)*8
+				if got := m.Mem().Load(addr); got != want[uint64(w)*8] {
+					t.Fatalf("phase 1 word %d = %#x, want %#x", w, got, want[uint64(w)*8])
+				}
+			}
+			if m.QueuedTasks() != 0 {
+				t.Fatalf("quiescent machine reports %d queued tasks", m.QueuedTasks())
+			}
+
+			// Inject the second forest: timestamps restart at 1, below the
+			// committed history's virtual times.
+			for _, r := range p2.roots {
+				m.EnqueueRoot(1, p2.tasks[r].ts, uint64(r))
+			}
+			ph2, err := m.RunPhase()
+			if err != nil {
+				t.Fatalf("phase 2: %v", err)
+			}
+			if commitErr != nil {
+				t.Fatal(commitErr)
+			}
+			if cascadeErr != nil {
+				t.Fatal(cascadeErr)
+			}
+			if int(ph2.Commits) < len(p2.tasks) {
+				t.Fatalf("phase 2: only %d commits for %d tasks", ph2.Commits, len(p2.tasks))
+			}
+			if ph2.StartCycle != ph1.EndCycle {
+				t.Fatalf("phase 2 starts at %d, phase 1 ended at %d", ph2.StartCycle, ph1.EndCycle)
+			}
+			for seq := range discarded {
+				if committed[seq] {
+					t.Fatalf("discarded task incarnation (seq %d) committed", seq)
+				}
+			}
+			// Final memory: phase 1 then phase 2, serially, in ts order.
+			p2.serialOracleInto(want)
+			for w := 0; w < p2.words; w++ {
+				addr := base + uint64(w)*8
+				if got := m.Mem().Load(addr); got != want[uint64(w)*8] {
+					t.Fatalf("final word %d = %#x, want %#x (two-phase serial oracle)", w, got, want[uint64(w)*8])
+				}
 			}
 		})
 	}

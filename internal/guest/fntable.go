@@ -1,0 +1,60 @@
+package guest
+
+import "fmt"
+
+// FnTable is an ordered, named task-function table. Applications register
+// their task bodies by name (Fn) and receive typed FnID handles to put in
+// task descriptors; the simulator consumes the positional table (Fns) the
+// registration order defines. Named registration replaces hand-maintained
+// positional []TaskFn tables: the handle is created where the function is,
+// so reordering registrations can never silently retarget an enqueue.
+type FnTable struct {
+	fns   []TaskFn
+	names []string
+}
+
+// Fn registers a task body under a name and returns its handle. Names are
+// diagnostic (error messages, traces) and must be unique and non-empty;
+// violations panic, since they are programming errors in app code.
+func (t *FnTable) Fn(name string, fn TaskFn) FnID {
+	if name == "" || fn == nil {
+		panic("guest: Fn requires a name and a function body")
+	}
+	for _, n := range t.names {
+		if n == name {
+			panic(fmt.Sprintf("guest: task function %q registered twice", name))
+		}
+	}
+	t.fns = append(t.fns, fn)
+	t.names = append(t.names, name)
+	return FnID(len(t.fns) - 1)
+}
+
+// Fns returns the positional function table the registrations built.
+func (t *FnTable) Fns() []TaskFn { return t.fns }
+
+// Names returns the registered names, positionally aligned with Fns.
+func (t *FnTable) Names() []string { return t.names }
+
+// Name returns the registered name of a handle, or a placeholder for
+// out-of-table handles (useful in panic messages).
+func (t *FnTable) Name(id FnID) string {
+	if int(id) < 0 || int(id) >= len(t.names) {
+		return fmt.Sprintf("fn#%d", int(id))
+	}
+	return t.names[id]
+}
+
+// AppBuild is the build-time environment handed to a Swarm application's
+// Build hook: setup-cost guest-memory primitives (initialization happens
+// outside the measured region, §5) plus the named task-function registrar.
+// Build hooks lay out memory with Alloc/Store, register bodies with Fn,
+// and return the root task descriptors that seed execution.
+type AppBuild struct {
+	FnTable
+
+	// Alloc reserves n bytes of guest memory (line-aligned, zero cost).
+	Alloc func(n uint64) uint64
+	// Store initializes a 64-bit guest word at zero cost.
+	Store func(addr, val uint64)
+}

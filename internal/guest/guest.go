@@ -49,13 +49,20 @@ const (
 	OpAborted
 )
 
-// TaskDesc is an architectural task descriptor: function pointer (an index
+// FnID is a typed handle to a registered task function: architecturally
+// the "function pointer" slot of a task descriptor (an index into the
+// program's function table). Handles come from FnTable.Fn (named
+// registration); the zero value names the first registered function, so
+// single-function programs keep working with untyped literals.
+type FnID int
+
+// TaskDesc is an architectural task descriptor: function handle (an index
 // into the program's function table), a 64-bit timestamp, and up to three
 // 64-bit argument words (§4.1, Table 2). Hint optionally carries a spatial
 // locality key for hint-based task mappers; it is metadata consumed by the
 // task unit at enqueue time and costs nothing architecturally.
 type TaskDesc struct {
-	Fn   int
+	Fn   FnID
 	TS   uint64
 	Hint uint64 // spatial key + 1; 0 = no hint (see WithHint/HintKey)
 	Args [3]uint64
@@ -119,17 +126,17 @@ type TaskEnv interface {
 	// Arg returns the i-th argument word (i < 3).
 	Arg(i int) uint64
 	// Enqueue creates a child task with an equal or later timestamp.
-	Enqueue(fn int, ts uint64, args ...uint64)
+	Enqueue(fn FnID, ts uint64, args ...uint64)
 	// EnqueueArgs is Enqueue with a fixed argument array. Variadic calls
 	// through the TaskEnv interface heap-allocate their argument slice (the
 	// compiler cannot prove the callee drops it), so per-edge enqueue loops
 	// use this form; unused argument words are zero.
-	EnqueueArgs(fn int, ts uint64, args [3]uint64)
+	EnqueueArgs(fn FnID, ts uint64, args [3]uint64)
 	// EnqueueHinted is EnqueueArgs plus a spatial hint key (see
 	// TaskDesc.WithHint): hint-based mappers send the child to the key's
 	// home tile; other mappers ignore it. The hint is free — it adds no
 	// instructions, memory accesses or descriptor-transfer cost.
-	EnqueueHinted(fn int, ts uint64, hint uint64, args [3]uint64)
+	EnqueueHinted(fn FnID, ts uint64, hint uint64, args [3]uint64)
 }
 
 // ThreadEnv is the environment visible to a software-baseline thread.
@@ -336,7 +343,7 @@ type coTaskEnv struct {
 
 func (e *coTaskEnv) Timestamp() uint64 { return e.desc.TS }
 func (e *coTaskEnv) Arg(i int) uint64  { return e.desc.Args[i] }
-func (e *coTaskEnv) Enqueue(fn int, ts uint64, args ...uint64) {
+func (e *coTaskEnv) Enqueue(fn FnID, ts uint64, args ...uint64) {
 	var a [3]uint64
 	if len(args) > len(a) {
 		panic("guest: task descriptors hold at most 3 argument words; allocate memory for more (§4.1)")
@@ -345,14 +352,14 @@ func (e *coTaskEnv) Enqueue(fn int, ts uint64, args ...uint64) {
 	e.EnqueueArgs(fn, ts, a)
 }
 
-func (e *coTaskEnv) EnqueueArgs(fn int, ts uint64, args [3]uint64) {
+func (e *coTaskEnv) EnqueueArgs(fn FnID, ts uint64, args [3]uint64) {
 	if ts < e.desc.TS {
 		panic(fmt.Sprintf("guest: child timestamp %d before parent %d", ts, e.desc.TS))
 	}
 	e.exec(Op{Kind: OpEnqueue, Task: TaskDesc{Fn: fn, TS: ts, Args: args}})
 }
 
-func (e *coTaskEnv) EnqueueHinted(fn int, ts uint64, hint uint64, args [3]uint64) {
+func (e *coTaskEnv) EnqueueHinted(fn FnID, ts uint64, hint uint64, args [3]uint64) {
 	if ts < e.desc.TS {
 		panic(fmt.Sprintf("guest: child timestamp %d before parent %d", ts, e.desc.TS))
 	}

@@ -87,6 +87,28 @@ func WriteMapperCSV(w io.Writer, pts []MapperPoint) error {
 	return nil
 }
 
+// WritePhasesCSV emits the phased-workload sweep: one row per (app,
+// cores, phase), counters as phase deltas plus the cumulative cycle count
+// at the phase's end.
+func WritePhasesCSV(w io.Writer, pts []PhasePoint) error {
+	if _, err := fmt.Fprintln(w, "app,cores,phase,start_cycle,end_cycle,phase_cycles,commits,aborts,enqueues,spilled,"+
+		"committed_cycles,aborted_cycles,spill_cycles,stall_cycles,taskq_occ,commitq_occ,traffic_bytes,cum_cycles,cum_commits"); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		ph := p.Stats
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.3f,%d,%d,%d\n",
+			p.App, p.Cores, ph.Phase, ph.StartCycle, ph.EndCycle, ph.Cycles,
+			ph.Commits, ph.Aborts, ph.Enqueues, ph.SpilledTasks,
+			ph.CommittedCycles, ph.AbortedCycles, ph.SpillCycles, ph.StallCycles,
+			ph.AvgTaskQueueOcc, ph.AvgCommitQueueOcc, ph.TrafficBytes,
+			ph.Cumulative.Cycles, ph.Cumulative.Commits); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // WriteTraceCSV emits the Fig 18 time series: one row per (sample, tile).
 func WriteTraceCSV(w io.Writer, st core.Stats) error {
 	if _, err := fmt.Fprintln(w, "cycle,tile,worker_cycles,spill_cycles,stall_cycles,task_queue,commit_queue,commits,aborts"); err != nil {

@@ -142,6 +142,34 @@ func PrintSweep(w io.Writer, title string, apps []string, pts []SweepPoint) {
 	}
 }
 
+// PrintPhases formats the phased-workload sweep: one row per (app, cores,
+// phase), with the phase's share of the session's cycles.
+func PrintPhases(w io.Writer, pts []PhasePoint) {
+	fmt.Fprintf(w, "phased sessions: per-phase cycles, commits and occupancy at quiescent points\n")
+	fmt.Fprintf(w, "%-9s %6s %7s %10s %9s %8s %8s %8s %8s\n",
+		"app", "cores", "phase", "cycles", "share", "commits", "aborts", "tq_occ", "cq_occ")
+	// Share is the phase's fraction of its session's total cycles: the
+	// session's total is the last phase's cumulative count.
+	type key struct {
+		app   string
+		cores int
+	}
+	totals := map[key]uint64{}
+	for _, p := range pts {
+		k := key{p.App, p.Cores}
+		if c := p.Stats.Cumulative.Cycles; c > totals[k] {
+			totals[k] = c
+		}
+	}
+	for _, p := range pts {
+		ph := p.Stats
+		share := ratio(float64(ph.Cycles), float64(totals[key{p.App, p.Cores}]))
+		fmt.Fprintf(w, "%-9s %6d %7d %10d %8.1f%% %8d %8d %8.1f %8.1f\n",
+			p.App, p.Cores, ph.Phase, ph.Cycles, 100*share, ph.Commits, ph.Aborts,
+			ph.AvgTaskQueueOcc, ph.AvgCommitQueueOcc)
+	}
+}
+
 // PrintMapperSweep formats the task-mapping policy sweep: per-app speedup
 // over the random mapper plus the placement diagnostics behind it.
 func PrintMapperSweep(w io.Writer, cores int, pts []MapperPoint) {

@@ -647,6 +647,61 @@ func (s *Suite) MapperSweep(cores int, mappers []string) ([]MapperPoint, error) 
 	return pts, nil
 }
 
+// ------------------------------------------------------------ phased runs --
+
+// PhasePoint is one (app, cores, phase) cell of the phased-workload sweep:
+// the per-phase statistics of a session-API benchmark.
+type PhasePoint struct {
+	App   string
+	Cores int
+	Stats core.PhaseStats
+}
+
+// PhasedApps returns the suite's session-API (multi-phase) benchmarks, in
+// suite order.
+func (s *Suite) PhasedApps() []bench.Phased {
+	var out []bench.Phased
+	for _, b := range s.Benchmarks {
+		if pb, ok := b.(bench.Phased); ok {
+			out = append(out, pb)
+		}
+	}
+	return out
+}
+
+// PhasedRuns executes every phased benchmark across the core counts,
+// fanning (app, cores) sessions over the pool, and returns per-phase rows
+// grouped by app in suite order, then cores, then phase. The mapper
+// override applies as in every other sweep.
+func (s *Suite) PhasedRuns(coreCounts []int) ([]PhasePoint, error) {
+	apps := s.PhasedApps()
+	nc := len(coreCounts)
+	cells := make([][]core.PhaseStats, len(apps)*nc)
+	err := s.pool.Run(len(cells),
+		func(i int) string {
+			return fmt.Sprintf("phases %s@%dc", apps[i/nc].Name(), coreCounts[i%nc])
+		},
+		func(i int) error {
+			b, cores := apps[i/nc], coreCounts[i%nc]
+			phases, err := b.RunSwarmPhases(s.config(cores))
+			if err != nil {
+				return fmt.Errorf("%s phases @%dc: %w", b.Name(), cores, err)
+			}
+			cells[i] = phases
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var pts []PhasePoint
+	for i, phases := range cells {
+		for _, ph := range phases {
+			pts = append(pts, PhasePoint{App: apps[i/nc].Name(), Cores: coreCounts[i%nc], Stats: ph})
+		}
+	}
+	return pts, nil
+}
+
 // Fig18 runs the Fig 18 case study (the app tagged "fig18" in the
 // registry — astar) with a per-tile tracer on a 16-core, 4-tile machine
 // (500-cycle samples).

@@ -20,9 +20,10 @@ import (
 	"github.com/swarm-sim/swarm/internal/guest"
 )
 
-// BuildFn lays out guest data and returns task functions plus root tasks
-// (the same shape as a Swarm application's Build).
-type BuildFn = func(alloc func(uint64) uint64, store func(addr, val uint64)) ([]guest.TaskFn, []guest.TaskDesc)
+// BuildFn lays out guest data, registers named task functions on the build
+// environment, and returns the root tasks (the same shape as a Swarm
+// application's Build).
+type BuildFn = func(b *guest.AppBuild) []guest.TaskDesc
 
 // SerialBuildFn lays out guest data and returns the sequential
 // implementation's body; the body must call iterMark at each loop
@@ -132,14 +133,14 @@ func (p *profEnv) Timestamp() uint64 { return p.desc.TS }
 func (p *profEnv) Arg(i int) uint64 { return p.desc.Args[i] }
 
 // Enqueue implements guest.TaskEnv.
-func (p *profEnv) Enqueue(fn int, ts uint64, args ...uint64) {
+func (p *profEnv) Enqueue(fn guest.FnID, ts uint64, args ...uint64) {
 	var a [3]uint64
 	copy(a[:], args)
 	p.EnqueueArgs(fn, ts, a)
 }
 
 // EnqueueArgs implements guest.TaskEnv.
-func (p *profEnv) EnqueueArgs(fn int, ts uint64, args [3]uint64) {
+func (p *profEnv) EnqueueArgs(fn guest.FnID, ts uint64, args [3]uint64) {
 	p.instrs++
 	p.seq++
 	heap.Push(&p.queue, profItem{desc: guest.TaskDesc{Fn: fn, TS: ts, Args: args}, seq: p.seq, parent: p.curIdx})
@@ -147,7 +148,7 @@ func (p *profEnv) EnqueueArgs(fn int, ts uint64, args [3]uint64) {
 
 // EnqueueHinted implements guest.TaskEnv; the oracle's idealized scheduler
 // has no tiles, so the hint is dropped.
-func (p *profEnv) EnqueueHinted(fn int, ts uint64, _ uint64, args [3]uint64) {
+func (p *profEnv) EnqueueHinted(fn guest.FnID, ts uint64, _ uint64, args [3]uint64) {
 	p.EnqueueArgs(fn, ts, args)
 }
 
@@ -165,7 +166,9 @@ func setOf(m map[uint64]struct{}) []uint64 {
 // never pollute footprints — matching the pintool's filtering (§2.2).
 func ProfileTasks(build BuildFn, maxTasks int) *Profile {
 	env := newProfEnv()
-	fns, roots := build(env.allocSetup, func(a, v uint64) { env.mem[a] = v })
+	b := &guest.AppBuild{Alloc: env.allocSetup, Store: func(a, v uint64) { env.mem[a] = v }}
+	roots := build(b)
+	fns := b.Fns()
 	for _, d := range roots {
 		env.seq++
 		heap.Push(&env.queue, profItem{desc: d, seq: env.seq, parent: -1})

@@ -9,17 +9,18 @@ import (
 
 // TestChainIsSerial: a pure dependence chain has parallelism 1.
 func TestChainIsSerial(t *testing.T) {
-	build := func(alloc func(uint64) uint64, store func(addr, val uint64)) ([]guest.TaskFn, []guest.TaskDesc) {
-		base := alloc(8)
-		fn := func(e guest.TaskEnv) {
+	build := func(b *guest.AppBuild) []guest.TaskDesc {
+		base := b.Alloc(8)
+		var fn guest.FnID
+		fn = b.Fn("chain", func(e guest.TaskEnv) {
 			v := e.Load(base)
 			e.Work(9)
 			e.Store(base, v+1)
 			if e.Timestamp() < 20 {
-				e.Enqueue(0, e.Timestamp()+1)
+				e.Enqueue(fn, e.Timestamp()+1)
 			}
-		}
-		return []guest.TaskFn{fn}, []guest.TaskDesc{{Fn: 0, TS: 0}}
+		})
+		return []guest.TaskDesc{{Fn: fn, TS: 0}}
 	}
 	p := ProfileTasks(build, 0)
 	if len(p.Tasks) != 21 {
@@ -33,18 +34,18 @@ func TestChainIsSerial(t *testing.T) {
 // TestIndependentTasksAreParallel: disjoint tasks have parallelism ~N.
 func TestIndependentTasksAreParallel(t *testing.T) {
 	const n = 50
-	build := func(alloc func(uint64) uint64, store func(addr, val uint64)) ([]guest.TaskFn, []guest.TaskDesc) {
-		base := alloc(8 * n)
-		fn := func(e guest.TaskEnv) {
+	build := func(b *guest.AppBuild) []guest.TaskDesc {
+		base := b.Alloc(8 * n)
+		fn := b.Fn("indep", func(e guest.TaskEnv) {
 			i := e.Arg(0)
 			e.Work(20)
 			e.Store(base+i*8, i)
-		}
+		})
 		var roots []guest.TaskDesc
 		for i := uint64(0); i < n; i++ {
-			roots = append(roots, guest.TaskDesc{Fn: 0, TS: i, Args: [3]uint64{i}})
+			roots = append(roots, guest.TaskDesc{Fn: fn, TS: i, Args: [3]uint64{i}})
 		}
-		return []guest.TaskFn{fn}, roots
+		return roots
 	}
 	p := ProfileTasks(build, 0)
 	if par := p.MaxParallelism(); par < n-1 {

@@ -8,19 +8,20 @@
 // the TaskEnv interface; every load, store and enqueue is timed by a
 // detailed model of the paper's 64-core CMP (caches, mesh NoC, hardware
 // task queues, Bloom-filter conflict detection, selective aborts, GVT
-// commits). A minimal application:
+// commits).
 //
-//	app := swarm.App{
-//	    Build: func(mem *swarm.Mem) ([]swarm.TaskFn, []swarm.Task) {
-//	        counter := mem.Alloc(8)
-//	        inc := func(e swarm.TaskEnv) {
-//	            e.Store(counter, e.Load(counter)+1)
-//	        }
-//	        roots := []swarm.Task{{Fn: 0, TS: 0}}
-//	        return []swarm.TaskFn{inc}, roots
-//	    },
-//	}
+// An application registers named task functions and returns root tasks
+// from its Build hook (see Example in example_test.go for a complete
+// program). One-shot execution:
+//
 //	res, err := swarm.Run(swarm.DefaultConfig(16), app)
+//
+// Incremental and phased execution goes through a session instead: NewSim
+// builds a reusable machine, RunToQuiescence executes queued work to the
+// paper's §4.1 termination point, and between phases the program may read
+// and mutate guest memory at setup cost, enqueue new root tasks, and
+// sample statistics (see ExampleNewSim). Run is a thin wrapper over a
+// single-phase session and is bit-identical to it.
 //
 // See the examples directory for complete programs, DESIGN.md for the
 // system inventory, and EXPERIMENTS.md for the paper reproduction.
@@ -28,6 +29,7 @@ package swarm
 
 import (
 	"errors"
+	"fmt"
 
 	"github.com/swarm-sim/swarm/internal/core"
 	"github.com/swarm-sim/swarm/internal/guest"
@@ -47,7 +49,11 @@ type TaskEnv = guest.TaskEnv
 // order; the hardware speculates underneath.
 type TaskFn = guest.TaskFn
 
-// Task is an architectural task descriptor: function index, 64-bit
+// FnID is a typed handle to a task function registered with Builder.Fn.
+// Put it in a Task's Fn field or pass it to TaskEnv.Enqueue.
+type FnID = guest.FnID
+
+// Task is an architectural task descriptor: function handle, 64-bit
 // timestamp, and up to three argument words.
 type Task = guest.TaskDesc
 
@@ -58,13 +64,19 @@ type Config = core.Config
 // traffic and cycle breakdowns.
 type Stats = core.Stats
 
+// PhaseStats reports one quiescence-to-quiescence phase of a session:
+// counter deltas for the phase plus the cumulative Stats at its end.
+type PhaseStats = core.PhaseStats
+
 // DefaultConfig returns the paper's machine configuration scaled to
 // nCores cores (4-core tiles, 64 task queue entries and 16 commit queue
 // entries per core, 2048-bit 8-way Bloom signatures, ...).
 func DefaultConfig(nCores int) Config { return core.DefaultConfig(nCores) }
 
-// Mem provides setup-time access to guest memory: allocation and
-// initialization before the measured execution starts.
+// Mem provides setup-cost access to guest memory: allocation,
+// initialization and inspection outside the measured execution (before
+// the run and, in sessions, between phases — the paper fast-forwards
+// through initialization, §5).
 type Mem struct {
 	m *core.Machine
 }
@@ -72,6 +84,10 @@ type Mem struct {
 // Alloc reserves n bytes of guest memory (64-byte aligned) at no
 // simulated cost.
 func (m *Mem) Alloc(n uint64) uint64 { return m.m.SetupAlloc(n) }
+
+// Free releases an allocation at no simulated cost. Valid only at
+// quiescent points, where no speculative task can hold the region.
+func (m *Mem) Free(addr, n uint64) { m.m.SetupFree(addr, n) }
 
 // Store initializes a 64-bit guest word at no simulated cost.
 func (m *Mem) Store(addr, val uint64) { m.m.Mem().Store(addr, val) }
@@ -83,10 +99,48 @@ func (m *Mem) Load(addr uint64) uint64 { return m.m.Mem().Load(addr) }
 // base address.
 func (m *Mem) AllocWords(n uint64) uint64 { return m.Alloc(n * 8) }
 
-// App is a Swarm application: Build lays out guest memory and returns the
-// task function table plus the root tasks that seed execution.
+// StoreWords initializes consecutive 64-bit guest words starting at addr
+// at no simulated cost.
+func (m *Mem) StoreWords(addr uint64, vals []uint64) {
+	for i, v := range vals {
+		m.m.Mem().Store(addr+uint64(i)*8, v)
+	}
+}
+
+// LoadWords bulk-reads n consecutive 64-bit guest words starting at addr.
+func (m *Mem) LoadWords(addr, n uint64) []uint64 {
+	return m.Words(addr, n).Values()
+}
+
+// NewWords allocates a fresh n-word guest array and returns a typed view
+// of it.
+func (m *Mem) NewWords(n uint64) Words {
+	return Words{base: m.AllocWords(n), n: n, mem: m.m.Mem()}
+}
+
+// Words returns a typed view of n existing guest words at addr.
+func (m *Mem) Words(addr, n uint64) Words {
+	return Words{base: addr, n: n, mem: m.m.Mem()}
+}
+
+// Builder is the build-time view handed to App.Build: guest-memory setup
+// through the embedded Mem, plus named task-function registration. The
+// returned handles go into root Tasks and TaskEnv.Enqueue calls, replacing
+// positional function-table indices.
+type Builder struct {
+	*Mem
+	fns *guest.FnTable
+}
+
+// Fn registers a task body under a diagnostic name and returns its typed
+// handle. Registration order is observable only through diagnostics;
+// handles are the API.
+func (b *Builder) Fn(name string, fn TaskFn) FnID { return b.fns.Fn(name, fn) }
+
+// App is a Swarm application: Build lays out guest memory, registers the
+// task functions by name, and returns the root tasks that seed execution.
 type App struct {
-	Build func(mem *Mem) ([]TaskFn, []Task)
+	Build func(b *Builder) []Task
 }
 
 // Result is a completed run: statistics plus read access to the final
@@ -99,32 +153,139 @@ type Result struct {
 // Load reads a 64-bit word of the final memory state.
 func (r Result) Load(addr uint64) uint64 { return r.mem.Load(addr) }
 
-// Run executes the application on a machine with the given configuration,
-// until no tasks remain (§4.1's termination condition), and returns the
-// final state and statistics. The simulation is deterministic: the same
-// configuration and application always produce the same cycle count.
-func Run(cfg Config, app App) (Result, error) {
+// Words bulk-reads n consecutive 64-bit words of the final memory state
+// starting at addr.
+func (r Result) Words(addr, n uint64) []uint64 {
+	return r.View(addr, n).Values()
+}
+
+// View returns a typed (read-only by convention) view of n final-state
+// guest words at addr.
+func (r Result) View(addr, n uint64) Words {
+	return Words{base: addr, n: n, mem: r.mem}
+}
+
+// Sim is a reusable simulation session: a machine that runs its program
+// to quiescence (§4.1: all queues empty, all tasks committed), then
+// accepts guest-memory mutation and new root tasks before running again.
+// The clock, caches and statistics carry across phases, so sessions
+// express warm restarts, incremental inputs and occupancy-over-time
+// measurement that one-shot Run cannot.
+//
+// A Sim is not safe for concurrent use; like every simulation here it is
+// fully deterministic — the same configuration, program and phase inputs
+// always produce the same cycle counts.
+type Sim struct {
+	m        *core.Machine
+	phases   []PhaseStats
+	finished bool
+}
+
+// NewSim builds a session: the machine is constructed, App.Build runs
+// (laying out memory and enqueueing the roots), and the session parks at
+// its initial quiescent point without simulating a cycle. An App whose
+// Build returns no root tasks is an error: the run would be silently
+// empty.
+func NewSim(cfg Config, app App) (*Sim, error) {
 	if app.Build == nil {
-		return Result{}, errors.New("swarm: App.Build is required")
+		return nil, errors.New("swarm: App.Build is required")
 	}
 	prog := &core.Program{}
-	var machine *core.Machine
 	prog.Setup = func(m *core.Machine) {
-		fns, roots := app.Build(&Mem{m: m})
-		prog.Fns = fns
+		b := &Builder{Mem: &Mem{m: m}, fns: &guest.FnTable{}}
+		roots := app.Build(b)
+		prog.Fns = b.fns.Fns()
+		prog.FnNames = b.fns.Names()
 		for _, d := range roots {
 			m.EnqueueRootDesc(d)
 		}
 	}
-	machine, err := core.NewMachine(cfg, prog)
+	m, err := core.NewMachine(cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Start(); err != nil {
+		return nil, err
+	}
+	if len(prog.Fns) == 0 {
+		return nil, errors.New("swarm: App.Build registered no task functions (use Builder.Fn)")
+	}
+	if m.QueuedTasks() == 0 {
+		return nil, errors.New("swarm: App.Build returned no root tasks — the run would be empty; return at least one Task (or check the slice you built)")
+	}
+	return &Sim{m: m}, nil
+}
+
+// Mem returns setup-cost access to guest memory. Valid at quiescent
+// points: after NewSim, between phases, and after the last phase — this
+// is how a session mutates inputs (and reads intermediate results)
+// between RunToQuiescence calls.
+func (s *Sim) Mem() *Mem { return &Mem{m: s.m} }
+
+// Enqueue inserts parentless root tasks for the next phase, at no
+// simulated cost (injection models an external agent — a network card, a
+// host core — not a guest task). Timestamps are unconstrained: ordering
+// is per phase, so new work may run "before" (in timestamp terms)
+// already-committed history.
+func (s *Sim) Enqueue(tasks ...Task) error {
+	if s.finished {
+		return errors.New("swarm: Enqueue after Finish")
+	}
+	for _, d := range tasks {
+		s.m.EnqueueRootDesc(d)
+	}
+	return nil
+}
+
+// RunToQuiescence executes every queued task — and all of their
+// descendants — to the §4.1 termination condition and returns the phase's
+// statistics. Calling it with nothing queued is an error (inject work
+// with Enqueue first).
+func (s *Sim) RunToQuiescence() (PhaseStats, error) {
+	if s.finished {
+		return PhaseStats{}, errors.New("swarm: RunToQuiescence after Finish")
+	}
+	if s.m.QueuedTasks() == 0 {
+		return PhaseStats{}, fmt.Errorf("swarm: phase %d has no queued tasks; call Enqueue first", s.m.Phase()+1)
+	}
+	ph, err := s.m.RunPhase()
+	if err != nil {
+		return PhaseStats{}, err
+	}
+	s.phases = append(s.phases, ph)
+	return ph, nil
+}
+
+// StatsSnapshot returns cumulative statistics at the session's current
+// quiescent point — a GVT-safe sample: every counted task has committed,
+// so the snapshot is exact, not speculative.
+func (s *Sim) StatsSnapshot() Stats { return s.m.Snapshot() }
+
+// Phases returns the statistics of every completed phase, in order.
+func (s *Sim) Phases() []PhaseStats { return s.phases }
+
+// Finish ends the session and returns the final state: cumulative
+// statistics plus read access to guest memory. The session cannot run
+// further phases afterwards.
+func (s *Sim) Finish() Result {
+	s.finished = true
+	return Result{Stats: s.m.Snapshot(), mem: s.m.Mem()}
+}
+
+// Run executes the application on a machine with the given configuration,
+// until no tasks remain (§4.1's termination condition), and returns the
+// final state and statistics: a single-phase session. The simulation is
+// deterministic: the same configuration and application always produce
+// the same cycle count.
+func Run(cfg Config, app App) (Result, error) {
+	s, err := NewSim(cfg, app)
 	if err != nil {
 		return Result{}, err
 	}
-	st, err := machine.Run()
-	if err != nil {
+	if _, err := s.RunToQuiescence(); err != nil {
 		return Result{}, err
 	}
-	return Result{Stats: st, mem: machine.Mem()}, nil
+	return s.Finish(), nil
 }
 
 // Unvisited is a conventional sentinel for "not yet computed" values in

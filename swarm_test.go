@@ -1,6 +1,7 @@
 package swarm_test
 
 import (
+	"strings"
 	"testing"
 
 	swarm "github.com/swarm-sim/swarm"
@@ -10,16 +11,16 @@ import (
 func TestPublicAPICounter(t *testing.T) {
 	var counter uint64
 	app := swarm.App{
-		Build: func(mem *swarm.Mem) ([]swarm.TaskFn, []swarm.Task) {
-			counter = mem.AllocWords(1)
-			inc := func(e swarm.TaskEnv) {
+		Build: func(b *swarm.Builder) []swarm.Task {
+			counter = b.AllocWords(1)
+			inc := b.Fn("inc", func(e swarm.TaskEnv) {
 				e.Store(counter, e.Load(counter)+1)
-			}
+			})
 			var roots []swarm.Task
 			for i := uint64(0); i < 64; i++ {
-				roots = append(roots, swarm.Task{Fn: 0, TS: i})
+				roots = append(roots, swarm.Task{Fn: inc, TS: i})
 			}
-			return []swarm.TaskFn{inc}, roots
+			return roots
 		},
 	}
 	res, err := swarm.Run(swarm.DefaultConfig(8), app)
@@ -39,27 +40,28 @@ func TestPublicAPICounter(t *testing.T) {
 
 // TestPublicAPIChildren: parent-child ordering through the public API.
 func TestPublicAPIChildren(t *testing.T) {
-	var log uint64
+	var log swarm.Words
 	app := swarm.App{
-		Build: func(mem *swarm.Mem) ([]swarm.TaskFn, []swarm.Task) {
-			log = mem.AllocWords(16)
-			fn := func(e swarm.TaskEnv) {
+		Build: func(b *swarm.Builder) []swarm.Task {
+			log = b.NewWords(16)
+			var fn swarm.FnID
+			fn = b.Fn("chain", func(e swarm.TaskEnv) {
 				ts := e.Timestamp()
-				e.Store(log+ts*8, ts+100)
+				e.Store(log.Addr(ts), ts+100)
 				if ts < 15 {
-					e.Enqueue(0, ts+1)
+					e.Enqueue(fn, ts+1)
 				}
-			}
-			return []swarm.TaskFn{fn}, []swarm.Task{{Fn: 0, TS: 0}}
+			})
+			return []swarm.Task{{Fn: fn, TS: 0}}
 		},
 	}
 	res, err := swarm.Run(swarm.DefaultConfig(4), app)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := uint64(0); i < 16; i++ {
-		if res.Load(log+i*8) != i+100 {
-			t.Fatalf("log[%d] wrong", i)
+	for i, v := range res.Words(log.Base(), log.Len()) {
+		if v != uint64(i)+100 {
+			t.Fatalf("log[%d] = %d, want %d", i, v, i+100)
 		}
 	}
 }
@@ -70,23 +72,49 @@ func TestPublicAPIValidation(t *testing.T) {
 	}
 }
 
+// TestZeroRootsIsAnError: a Build that returns no root tasks used to
+// yield a silent empty run; it must be a descriptive error, through both
+// Run and NewSim.
+func TestZeroRootsIsAnError(t *testing.T) {
+	app := swarm.App{
+		Build: func(b *swarm.Builder) []swarm.Task {
+			b.Fn("noop", func(e swarm.TaskEnv) {})
+			return nil
+		},
+	}
+	_, err := swarm.Run(swarm.DefaultConfig(4), app)
+	if err == nil || !strings.Contains(err.Error(), "no root tasks") {
+		t.Fatalf("Run with zero roots: err = %v, want a 'no root tasks' error", err)
+	}
+	if _, err := swarm.NewSim(swarm.DefaultConfig(4), app); err == nil {
+		t.Fatal("NewSim with zero roots: expected error")
+	}
+	// Registering no functions at all is caught separately.
+	empty := swarm.App{Build: func(b *swarm.Builder) []swarm.Task { return nil }}
+	if _, err := swarm.NewSim(swarm.DefaultConfig(4), empty); err == nil ||
+		!strings.Contains(err.Error(), "no task functions") {
+		t.Fatalf("NewSim with no fns: err = %v", err)
+	}
+}
+
 func TestDeterministicRuns(t *testing.T) {
 	build := func() swarm.App {
 		return swarm.App{
-			Build: func(mem *swarm.Mem) ([]swarm.TaskFn, []swarm.Task) {
-				data := mem.AllocWords(64)
-				fn := func(e swarm.TaskEnv) {
+			Build: func(b *swarm.Builder) []swarm.Task {
+				data := b.AllocWords(64)
+				var fn swarm.FnID
+				fn = b.Fn("mix", func(e swarm.TaskEnv) {
 					a := e.Arg(0)
 					e.Store(data+a*8, e.Load(data+(a*7%64)*8)+1)
 					if e.Timestamp() < 100 {
-						e.Enqueue(0, e.Timestamp()+2, (a+3)%64)
+						e.Enqueue(fn, e.Timestamp()+2, (a+3)%64)
 					}
-				}
+				})
 				var roots []swarm.Task
 				for i := uint64(0); i < 10; i++ {
-					roots = append(roots, swarm.Task{Fn: 0, TS: i, Args: [3]uint64{i}})
+					roots = append(roots, swarm.Task{Fn: fn, TS: i, Args: [3]uint64{i}})
 				}
-				return []swarm.TaskFn{fn}, roots
+				return roots
 			},
 		}
 	}
@@ -101,5 +129,233 @@ func TestDeterministicRuns(t *testing.T) {
 	if r1.Stats.Cycles != r2.Stats.Cycles || r1.Stats.Aborts != r2.Stats.Aborts {
 		t.Fatalf("nondeterministic public runs: %d/%d vs %d/%d cycles/aborts",
 			r1.Stats.Cycles, r1.Stats.Aborts, r2.Stats.Cycles, r2.Stats.Aborts)
+	}
+}
+
+// counterApp increments counter[Arg0] once per task; used by the session
+// tests below.
+func counterApp(nRoots uint64) (swarm.App, *swarm.Words, *swarm.FnID) {
+	var data swarm.Words
+	var inc swarm.FnID
+	app := swarm.App{
+		Build: func(b *swarm.Builder) []swarm.Task {
+			data = b.NewWords(64)
+			inc = b.Fn("inc", func(e swarm.TaskEnv) {
+				a := data.Addr(e.Arg(0))
+				e.Store(a, e.Load(a)+1)
+			})
+			var roots []swarm.Task
+			for i := uint64(0); i < nRoots; i++ {
+				roots = append(roots, swarm.Task{Fn: inc, TS: i, Args: [3]uint64{i % 64}})
+			}
+			return roots
+		},
+	}
+	return app, &data, &inc
+}
+
+// TestSessionPhases drives a multi-phase session end to end: run, mutate
+// memory at setup cost, inject a second batch, run again, and check both
+// the memory state and the phase accounting.
+func TestSessionPhases(t *testing.T) {
+	app, data, inc := counterApp(16)
+	sim, err := swarm.NewSim(swarm.DefaultConfig(4), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := sim.RunToQuiescence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Phase != 1 || p1.Commits != 16 {
+		t.Fatalf("phase 1 = %+v, want phase 1 with 16 commits", p1)
+	}
+	mid := sim.StatsSnapshot()
+	if mid.Commits != 16 {
+		t.Fatalf("mid-run snapshot commits = %d, want 16", mid.Commits)
+	}
+
+	// Between-phase, setup-cost mutation: reset word 0 to a sentinel.
+	sim.Mem().Store(data.Addr(0), 1000)
+
+	// Second batch: 8 more increments of word 0, timestamps below the
+	// committed history's (ordering is per phase).
+	var batch []swarm.Task
+	for i := uint64(0); i < 8; i++ {
+		batch = append(batch, swarm.Task{Fn: *inc, TS: i, Args: [3]uint64{0}})
+	}
+	if err := sim.Enqueue(batch...); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := sim.RunToQuiescence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Phase != 2 || p2.Commits != 8 {
+		t.Fatalf("phase 2 = %+v, want phase 2 with 8 commits", p2)
+	}
+	if p2.StartCycle != p1.EndCycle {
+		t.Fatalf("phase 2 starts at %d, phase 1 ended at %d", p2.StartCycle, p1.EndCycle)
+	}
+
+	res := sim.Finish()
+	if got := res.Load(data.Addr(0)); got != 1008 {
+		t.Fatalf("data[0] = %d, want 1008 (sentinel + 8 increments)", got)
+	}
+	if res.Stats.Commits != 24 {
+		t.Fatalf("cumulative commits = %d, want 24", res.Stats.Commits)
+	}
+	if got := len(sim.Phases()); got != 2 {
+		t.Fatalf("phases = %d, want 2", got)
+	}
+	if sum := p1.Commits + p2.Commits; sum != res.Stats.Commits {
+		t.Fatalf("phase commits %d don't sum to cumulative %d", sum, res.Stats.Commits)
+	}
+}
+
+// TestSessionErrors: running an empty phase and using a finished session
+// are errors, not silent no-ops.
+func TestSessionErrors(t *testing.T) {
+	app, _, _ := counterApp(4)
+	sim, err := swarm.NewSim(swarm.DefaultConfig(4), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.RunToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.RunToQuiescence(); err == nil {
+		t.Fatal("empty phase: expected an error")
+	}
+	sim.Finish()
+	if err := sim.Enqueue(swarm.Task{}); err == nil {
+		t.Fatal("Enqueue after Finish: expected an error")
+	}
+	if _, err := sim.RunToQuiescence(); err == nil {
+		t.Fatal("RunToQuiescence after Finish: expected an error")
+	}
+}
+
+// TestRunMatchesSession: the one-shot wrapper and an explicit single-phase
+// session produce identical statistics (the timing-neutrality contract).
+func TestRunMatchesSession(t *testing.T) {
+	app1, _, _ := counterApp(32)
+	res1, err := swarm.Run(swarm.DefaultConfig(8), app1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app2, _, _ := counterApp(32)
+	sim, err := swarm.NewSim(swarm.DefaultConfig(8), app2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.RunToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	res2 := sim.Finish()
+	if res1.Stats.Cycles != res2.Stats.Cycles || res1.Stats.Events != res2.Stats.Events ||
+		res1.Stats.Commits != res2.Stats.Commits || res1.Stats.Aborts != res2.Stats.Aborts {
+		t.Fatalf("Run vs session: %+v vs %+v", res1.Stats, res2.Stats)
+	}
+}
+
+// TestPhasedDeterminism: identical phase schedules produce byte-identical
+// phase statistics.
+func TestPhasedDeterminism(t *testing.T) {
+	run := func() []swarm.PhaseStats {
+		app, data, inc := counterApp(24)
+		sim, err := swarm.NewSim(swarm.DefaultConfig(8), app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.RunToQuiescence(); err != nil {
+			t.Fatal(err)
+		}
+		sim.Mem().Store(data.Addr(3), 7)
+		for i := uint64(0); i < 12; i++ {
+			if err := sim.Enqueue(swarm.Task{Fn: *inc, TS: i, Args: [3]uint64{i % 5}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := sim.RunToQuiescence(); err != nil {
+			t.Fatal(err)
+		}
+		return sim.Phases()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("phase counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Cycles != b[i].Cycles || a[i].Events != b[i].Events ||
+			a[i].Commits != b[i].Commits || a[i].Aborts != b[i].Aborts ||
+			a[i].TrafficBytes != b[i].TrafficBytes {
+			t.Fatalf("phase %d differs: %+v vs %+v", i+1, a[i], b[i])
+		}
+	}
+}
+
+// TestWordsViews covers the typed guest-memory accessors.
+func TestWordsViews(t *testing.T) {
+	var w swarm.Words
+	var recs swarm.Words
+	app := swarm.App{
+		Build: func(b *swarm.Builder) []swarm.Task {
+			w = b.NewWords(8)
+			w.Fill(5)
+			w.Set(2, 42)
+			recs = b.NewWords(4 * 2) // 4 records x 2 fields
+			recs.Copy([]uint64{10, 11, 20, 21, 30, 31, 40, 41})
+			touch := b.Fn("touch", func(e swarm.TaskEnv) {
+				e.Store(w.Addr(0), w.Len())
+			})
+			return []swarm.Task{{Fn: touch, TS: 0}}
+		},
+	}
+	res, err := swarm.Run(swarm.DefaultConfig(1), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Words(w.Base(), w.Len())
+	want := []uint64{8, 5, 42, 5, 5, 5, 5, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("words[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	v := res.View(recs.Base(), recs.Len())
+	if a := v.At(0); a != 10 {
+		t.Fatalf("view At(0) = %d", a)
+	}
+	if f := res.Load(v.Field(2, 2, 1)); f != 31 {
+		t.Fatalf("record 2 field 1 = %d, want 31", f)
+	}
+	sl := v.Slice(2, 4)
+	if sl.Len() != 2 || sl.At(0) != 20 {
+		t.Fatalf("slice = len %d first %d", sl.Len(), sl.At(0))
+	}
+}
+
+// TestMemFreeReuse: Free recycles guest memory for later setup
+// allocations of the same size.
+func TestMemFreeReuse(t *testing.T) {
+	app, _, _ := counterApp(4)
+	sim, err := swarm.NewSim(swarm.DefaultConfig(4), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.Mem()
+	a := m.Alloc(256)
+	m.Free(a, 256)
+	bAddr := m.Alloc(256)
+	if bAddr != a {
+		t.Fatalf("freed setup region not reused: %#x then %#x", a, bAddr)
+	}
+	m.StoreWords(bAddr, []uint64{1, 2, 3})
+	got := m.LoadWords(bAddr, 3)
+	for i, want := range []uint64{1, 2, 3} {
+		if got[i] != want {
+			t.Fatalf("LoadWords[%d] = %d, want %d", i, got[i], want)
+		}
 	}
 }

@@ -1,0 +1,91 @@
+package swarm
+
+import "github.com/swarm-sim/swarm/internal/mem"
+
+// Words is a typed view of a contiguous array of 64-bit guest words: a
+// base address plus a bounds-checked element count. It replaces
+// hand-rolled base+8*i address arithmetic in application code.
+//
+// Two kinds of accessors coexist deliberately:
+//
+//   - Addr/Field compute guest addresses for use *inside* tasks, where
+//     every access must flow through the TaskEnv (e.Load(w.Addr(i))) so
+//     the machine can time it and track it for conflict detection;
+//   - At/Set/Fill/Values read and write the words directly at setup cost,
+//     for build-time initialization, between-phase mutation, and result
+//     extraction.
+//
+// The zero Words is empty; views come from Mem.NewWords, Mem.Words and
+// Result.View.
+type Words struct {
+	base uint64
+	n    uint64
+	mem  *mem.Memory
+}
+
+// Base returns the guest address of element 0.
+func (w Words) Base() uint64 { return w.base }
+
+// Len returns the element count.
+func (w Words) Len() uint64 { return w.n }
+
+// Addr returns the guest address of element i, for access through a task's
+// Env. Out-of-bounds indices panic — the typed view exists to catch
+// exactly that arithmetic slip.
+func (w Words) Addr(i uint64) uint64 {
+	if i >= w.n {
+		panic("swarm: Words index out of range")
+	}
+	return w.base + i*8
+}
+
+// Field is Addr for struct-of-words layouts: the address of field f of
+// record i, where each record is stride words long. Use one Words of
+// n*stride elements as an array of n records.
+func (w Words) Field(i, stride, f uint64) uint64 {
+	if f >= stride {
+		panic("swarm: Words field outside record stride")
+	}
+	return w.Addr(i*stride + f)
+}
+
+// Slice returns the subview [lo, hi).
+func (w Words) Slice(lo, hi uint64) Words {
+	if lo > hi || hi > w.n {
+		panic("swarm: Words slice out of range")
+	}
+	return Words{base: w.base + lo*8, n: hi - lo, mem: w.mem}
+}
+
+// At reads element i at setup cost (no simulated cycles).
+func (w Words) At(i uint64) uint64 { return w.mem.Load(w.Addr(i)) }
+
+// Set writes element i at setup cost.
+func (w Words) Set(i, val uint64) { w.mem.Store(w.Addr(i), val) }
+
+// Fill sets every element to val at setup cost.
+func (w Words) Fill(val uint64) {
+	for i := uint64(0); i < w.n; i++ {
+		w.mem.Store(w.base+i*8, val)
+	}
+}
+
+// Copy writes vals into the view starting at element 0, at setup cost.
+// It panics if vals is longer than the view.
+func (w Words) Copy(vals []uint64) {
+	if uint64(len(vals)) > w.n {
+		panic("swarm: Words Copy source longer than view")
+	}
+	for i, v := range vals {
+		w.mem.Store(w.base+uint64(i)*8, v)
+	}
+}
+
+// Values reads the whole view into a fresh host slice at setup cost.
+func (w Words) Values() []uint64 {
+	out := make([]uint64, w.n)
+	for i := range out {
+		out[i] = w.mem.Load(w.base + uint64(i)*8)
+	}
+	return out
+}
