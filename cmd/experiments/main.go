@@ -36,6 +36,8 @@ func main() {
 		"task-mapping policy for every Swarm run ("+strings.Join(core.MapperNames(), ", ")+"); default random")
 	csvDir := flag.String("csv", "", "also write plot-ready CSV files to this directory")
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent simulations on the host (1 = sequential; results are identical)")
+	simWorkers := flag.Int("simworkers", 1,
+		"shard each simulated machine across N goroutines (results are bit-identical; 1 = single-threaded)")
 	quiet := flag.Bool("quiet", false, "suppress per-task progress lines on stderr")
 	flag.Parse()
 
@@ -56,6 +58,7 @@ func main() {
 	s := harness.NewSuite(scale)
 	s.SetWorkers(*workers)
 	s.SetMapper(*mapper)
+	s.SetSimWorkers(*simWorkers)
 	if !*quiet {
 		s.SetProgress(func(done, total int, label string, eta time.Duration) {
 			if eta >= time.Second {

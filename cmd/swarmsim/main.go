@@ -43,6 +43,8 @@ func main() {
 	phases := flag.Bool("phases", false,
 		"print per-phase statistics for session (multi-phase) benchmarks")
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent simulations for multi-benchmark runs")
+	simWorkers := flag.Int("simworkers", 1,
+		"shard one simulated machine across N goroutines (results are bit-identical; 1 = single-threaded)")
 	flag.Parse()
 
 	scale, err := harness.ParseScale(*scaleF)
@@ -89,6 +91,7 @@ func main() {
 			cfg := core.DefaultConfig(*cores)
 			cfg.Seed = *seed
 			cfg.Mapper = *mapper
+			cfg.SimWorkers = *simWorkers
 			if *cq > 0 {
 				cfg.CommitQPerCore = *cq
 			}

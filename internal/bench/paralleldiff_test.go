@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/swarm-sim/swarm/internal/core"
+)
+
+// The app-level differential harness for the tile-parallel machine: every
+// registered benchmark, across simulated machine sizes and SimWorkers
+// counts, must produce Stats (and, for phased apps, PhaseStats) exactly
+// equal to the single-threaded run — every counter, cycle count, occupancy
+// average, NoC byte and cache statistic. RunSwarm additionally verifies
+// committed guest memory against each app's host-side reference, so a
+// passing cell proves memory identity too. Under -race this suite is also
+// the proof of the guest purity contract (execute-ahead runs task bodies
+// on shard workers) for every app in the suite, not just synthetic
+// programs.
+//
+// The full matrix (cores × {1,4,16,64} × simworkers {2,4,8} plus a
+// perturbed adversarial-scheduling cell) runs in normal mode; -short trims
+// to a representative corner sample.
+
+var diffWorkers = []int{2, 4, 8}
+
+func diffCores(short bool) []int {
+	if short {
+		return []int{1, 16}
+	}
+	return []int{1, 4, 16, 64}
+}
+
+func TestParallelDifferentialApps(t *testing.T) {
+	workers := diffWorkers
+	if testing.Short() {
+		workers = []int{2, 8}
+	}
+	for _, meta := range Apps() {
+		meta := meta
+		t.Run(meta.Name, func(t *testing.T) {
+			b, err := New(meta.Name, ScaleTiny)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cores := range diffCores(testing.Short()) {
+				serialCfg := core.DefaultConfig(cores)
+				serial, err := b.RunSwarm(serialCfg)
+				if err != nil {
+					t.Fatalf("cores=%d serial: %v", cores, err)
+				}
+				for _, w := range workers {
+					cfg := serialCfg
+					cfg.SimWorkers = w
+					got, err := b.RunSwarm(cfg)
+					if err != nil {
+						t.Fatalf("cores=%d simworkers=%d: %v", cores, w, err)
+					}
+					if !reflect.DeepEqual(got, serial) {
+						t.Fatalf("cores=%d simworkers=%d: Stats diverge from serial\n got: %+v\nwant: %+v",
+							cores, w, got, serial)
+					}
+				}
+				// One adversarial-scheduling cell per machine size:
+				// randomized worker yields/sleeps must change nothing.
+				cfg := serialCfg
+				cfg.SimWorkers = 2
+				cfg.SimPerturb = int64(cores)*1_000_003 + 17
+				got, err := b.RunSwarm(cfg)
+				if err != nil {
+					t.Fatalf("cores=%d perturbed: %v", cores, err)
+				}
+				if !reflect.DeepEqual(got, serial) {
+					t.Fatalf("cores=%d perturbed simworkers=2: Stats diverge from serial", cores)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelDifferentialPhases compares full per-phase statistics of
+// every multi-phase (session) benchmark: the clock, caches and counters
+// carry across quiescent points, so any parallel-path divergence in an
+// early phase amplifies into later ones.
+func TestParallelDifferentialPhases(t *testing.T) {
+	cores := []int{4, 16}
+	if testing.Short() {
+		cores = cores[:1]
+	}
+	ran := false
+	for _, meta := range Apps() {
+		b, err := New(meta.Name, ScaleTiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ph, ok := b.(Phased)
+		if !ok {
+			continue
+		}
+		ran = true
+		t.Run(meta.Name, func(t *testing.T) {
+			for _, nc := range cores {
+				serialCfg := core.DefaultConfig(nc)
+				serial, err := ph.RunSwarmPhases(serialCfg)
+				if err != nil {
+					t.Fatalf("cores=%d serial: %v", nc, err)
+				}
+				for _, w := range diffWorkers {
+					cfg := serialCfg
+					cfg.SimWorkers = w
+					cfg.SimPerturb = int64(w) * 131
+					got, err := ph.RunSwarmPhases(cfg)
+					if err != nil {
+						t.Fatalf("cores=%d simworkers=%d: %v", nc, w, err)
+					}
+					if !reflect.DeepEqual(got, serial) {
+						t.Fatalf("cores=%d simworkers=%d: PhaseStats diverge from serial\n got: %+v\nwant: %+v",
+							nc, w, got, serial)
+					}
+				}
+			}
+		})
+	}
+	if !ran {
+		t.Fatal("no phased benchmark registered — the multi-phase differential never ran")
+	}
+}
+
+// TestParallelDifferentialMappers covers the non-default task mappers:
+// hint and stealing mappers move placement decisions (and, for stealing,
+// GVT-epoch migrations) through paths the random mapper never takes.
+func TestParallelDifferentialMappers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mapper differential runs in full mode only")
+	}
+	for _, mapper := range []string{"hint", "stealing"} {
+		mapper := mapper
+		t.Run(mapper, func(t *testing.T) {
+			for _, app := range []string{"sssp", "des"} {
+				b, err := New(app, ScaleTiny)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := core.DefaultConfig(16)
+				cfg.Mapper = mapper
+				serial, err := b.RunSwarm(cfg)
+				if err != nil {
+					t.Fatalf("%s serial: %v", app, err)
+				}
+				cfg.SimWorkers = 4
+				got, err := b.RunSwarm(cfg)
+				if err != nil {
+					t.Fatalf("%s simworkers=4: %v", app, err)
+				}
+				if !reflect.DeepEqual(got, serial) {
+					t.Fatalf("%s mapper=%s simworkers=4: Stats diverge from serial", app, mapper)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,421 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/swarm-sim/swarm/internal/guest"
+	"github.com/swarm-sim/swarm/internal/vt"
+)
+
+// Tile-parallel simulation (Config.SimWorkers > 1).
+//
+// The event loop stays a single sequencer: every machine-state mutation —
+// queue inserts, conflict checks, commits, NoC accounting, statistics —
+// still happens on the caller's goroutine in strict (cycle, seq) event
+// order, exactly as in the serial machine. What moves off the sequencer is
+// the guest work between those mutations: shard workers, each owning a
+// contiguous group of tiles, run guest-coroutine continuations ahead of
+// time, and GVT rounds reduce per-tile minima through a two-phase
+// fan-out/fan-in over the same shards.
+//
+// Execute-ahead is sound because of two properties the serial machine
+// already has:
+//
+//  1. Every coroutine Resume input is latched at schedule time. A resume
+//     event carries its Result payload from the moment it is armed
+//     (pendResume delivers the val computed when the op was handled,
+//     pendResumeOK delivers {OK: true}, pendStart delivers the empty
+//     Result), so the guest's next segment sees identical inputs whether
+//     it runs at the event's fire cycle or during the latency window
+//     before it.
+//
+//  2. Guest segments are pure between ops. Task bodies touch the machine
+//     only through yielded ops (guest.Env surrenders every load, store,
+//     enqueue, ...); between yields they read and write coroutine-local
+//     state only. The segment's sole output — the next Op — is consumed by
+//     the sequencer at exactly the cycle the serial machine would have
+//     produced it.
+//
+// So the parallel machine fires the same events at the same cycles in the
+// same order, performs the same mutations, and draws the same random
+// numbers: Stats, PhaseStats and committed memory are bit-identical to
+// SimWorkers=1. The differential suite (paralleldiff tests, the golden
+// fingerprint corpus's simworkers cells) pins this, under -race.
+//
+// Shard workers communicate with the sequencer through per-shard SPSC
+// rings (sequencer = single producer, worker = single consumer) with a
+// one-token notify channel for parking; job completion is published
+// through a per-job atomic flag the sequencer spin-joins at fire time. A
+// job whose ring is full runs inline on the sequencer — same result,
+// no waiting.
+
+// parJob is one offloaded guest continuation. The sequencer fills the
+// input fields and pushes; the worker writes co/op and publishes done;
+// the sequencer consumes the op at the event's fire cycle (collect) or
+// discards it on abort (abandon).
+type parJob struct {
+	t     *task
+	start bool           // pendStart: StartTask + first resume
+	fn    guest.TaskFn   // start jobs only
+	desc  guest.TaskDesc // start jobs only
+	res   guest.Result   // resume jobs: the latched Resume input
+
+	co   *guest.Coroutine // start jobs: worker-created coroutine
+	op   guest.Op         // the op the segment surrendered
+	done atomic.Bool
+}
+
+// run executes the continuation. Called by a shard worker, or by the
+// sequencer when the shard's ring is full (inline fallback).
+func (j *parJob) run() {
+	if j.start {
+		j.co = guest.StartTask(j.fn, j.desc)
+		j.op = j.co.Resume(guest.Result{})
+	} else {
+		j.op = j.t.co.Resume(j.res)
+	}
+	j.done.Store(true)
+}
+
+// gvtReq is one shard's slice of a two-phase GVT reduction: the sequencer
+// arms it with the round's cycle, the worker fills the partial results and
+// publishes done, the sequencer folds the partials in shard order.
+type gvtReq struct {
+	now    uint64
+	min    vt.Time
+	tq, cq uint64
+	done   atomic.Bool
+}
+
+// parShard is one worker's communication state: the tile range it owns,
+// its job ring, its GVT-reduction slot and its parking channel.
+type parShard struct {
+	id             int
+	loTile, hiTile int // owns tiles [loTile, hiTile)
+
+	ring   spscRing
+	req    atomic.Pointer[gvtReq]
+	notify chan struct{} // one-token wakeup; rebuilt every start()
+}
+
+// parRuntime is the machine's shard-worker pool. Built once in NewMachine
+// when SimWorkers > 1; workers are spawned per RunPhase and joined before
+// it returns, so a quiescent machine holds no goroutines.
+type parRuntime struct {
+	m         *Machine
+	shards    []*parShard
+	tileShard []int // tile id -> owning shard
+	reqs      []gvtReq
+
+	perturb int64 // seed for randomized worker yield points; 0 = off
+	wg      sync.WaitGroup
+	stop    atomic.Bool
+
+	jobPool []*parJob
+}
+
+// newParRuntime carves cfg.Tiles into min(SimWorkers, Tiles) contiguous
+// shards of near-equal size.
+func newParRuntime(m *Machine) *parRuntime {
+	n := m.cfg.SimWorkers
+	if n > m.cfg.Tiles {
+		n = m.cfg.Tiles
+	}
+	p := &parRuntime{
+		m:         m,
+		shards:    make([]*parShard, n),
+		tileShard: make([]int, m.cfg.Tiles),
+		reqs:      make([]gvtReq, n),
+		perturb:   m.cfg.SimPerturb,
+	}
+	base, rem := m.cfg.Tiles/n, m.cfg.Tiles%n
+	lo := 0
+	for i := range p.shards {
+		hi := lo + base
+		if i < rem {
+			hi++
+		}
+		s := &parShard{id: i, loTile: lo, hiTile: hi}
+		// Outstanding jobs per shard are bounded by its running tasks (one
+		// continuation per dispatched task), i.e. its core count.
+		s.ring.init((hi - lo) * m.cfg.CoresPerTile)
+		for t := lo; t < hi; t++ {
+			p.tileShard[t] = i
+		}
+		p.shards[i] = s
+		lo = hi
+	}
+	return p
+}
+
+// start spawns one worker goroutine per shard. Called at RunPhase entry.
+func (p *parRuntime) start() {
+	p.stop.Store(false)
+	for _, s := range p.shards {
+		s.notify = make(chan struct{}, 1)
+		p.wg.Add(1)
+		go p.worker(s)
+	}
+}
+
+// stopWorkers drains and joins every worker. Called before RunPhase
+// returns (normal completion or error), so phases never leak goroutines.
+func (p *parRuntime) stopWorkers() {
+	p.stop.Store(true)
+	for _, s := range p.shards {
+		close(s.notify)
+	}
+	p.wg.Wait()
+}
+
+// worker is one shard's loop: GVT-reduction requests take priority over
+// queued continuations; with nothing to do it parks on the notify channel.
+// Under a perturbation seed it inserts randomized yields and microsleeps
+// around every unit of work — the adversarial-scheduling mode; the seeds
+// gate host-side delays only and cannot influence simulation results.
+func (p *parRuntime) worker(s *parShard) {
+	defer p.wg.Done()
+	var prng *rand.Rand
+	if p.perturb != 0 {
+		prng = rand.New(rand.NewSource(p.perturb + int64(s.id)*0x9e3779b9))
+	}
+	for {
+		if req := s.req.Load(); req != nil {
+			s.req.Store(nil)
+			perturbPoint(prng)
+			p.reduceShard(s, req)
+			req.done.Store(true)
+			continue
+		}
+		if j := s.ring.pop(); j != nil {
+			perturbPoint(prng)
+			j.run()
+			perturbPoint(prng)
+			continue
+		}
+		if p.stop.Load() {
+			return
+		}
+		<-s.notify // token or closed channel; either way re-check
+	}
+}
+
+// perturbPoint is a randomized scheduler yield: sometimes nothing,
+// sometimes a Gosched, sometimes a microsleep. Shifting worker timing this
+// way flushes ordering bugs that a quiet scheduler would hide.
+func perturbPoint(prng *rand.Rand) {
+	if prng == nil {
+		return
+	}
+	switch prng.Intn(4) {
+	case 0:
+		runtime.Gosched()
+	case 1:
+		time.Sleep(time.Duration(prng.Intn(5)) * time.Microsecond)
+	}
+}
+
+// maybeOffload hands t's just-scheduled continuation to the worker owning
+// t's tile. Only worker-task coroutine resumes qualify: splitters have no
+// coroutine, and an out-of-range function id must keep panicking at the
+// event's fire cycle, exactly as the serial startBody does.
+func (p *parRuntime) maybeOffload(t *task, kind pendKind) {
+	j := p.getJob()
+	j.t = t
+	switch kind {
+	case pendStart:
+		if t.kind != kindWorker || int(t.desc.Fn) < 0 || int(t.desc.Fn) >= len(p.m.prog.Fns) {
+			p.putJob(j)
+			return
+		}
+		j.start = true
+		j.fn = p.m.prog.Fns[t.desc.Fn]
+		j.desc = t.desc
+	case pendResume:
+		if t.co == nil {
+			p.putJob(j)
+			return
+		}
+		j.res = guest.Result{Val: t.pendVal}
+	case pendResumeOK:
+		if t.co == nil {
+			p.putJob(j)
+			return
+		}
+		j.res = guest.Result{OK: true}
+	default:
+		p.putJob(j)
+		return
+	}
+	t.parJob = j
+	s := p.shards[p.tileShard[t.tile]]
+	if !s.ring.push(j) {
+		j.run() // ring full: execute inline, identical result
+		return
+	}
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// collect joins t's offloaded continuation at its event's fire cycle and
+// returns the op the guest segment surrendered.
+func (m *Machine) collect(t *task) guest.Op {
+	j := t.parJob
+	for !j.done.Load() {
+		runtime.Gosched()
+	}
+	if j.start {
+		t.co = j.co
+	}
+	op := j.op
+	t.parJob = nil
+	m.par.putJob(j)
+	return op
+}
+
+// abandon joins and discards t's in-flight continuation on abort. The
+// pre-executed segment touched nothing machine-visible (its op is dropped
+// unconsumed), so the abort proceeds exactly as the serial machine's: the
+// coroutine unwinds from its parked yield — unless the segment ran the
+// body to completion, in which case there is no yield left to unwind and
+// the coroutine parks in the pool directly (the serial abort path reaches
+// the same machine state through its OpAborted unwind).
+func (p *parRuntime) abandon(t *task) {
+	j := t.parJob
+	for !j.done.Load() {
+		runtime.Gosched()
+	}
+	if j.start {
+		t.co = j.co
+	}
+	if t.co != nil && t.co.Done() {
+		t.co.Recycle()
+		t.co = nil
+	}
+	t.parJob = nil
+	p.putJob(j)
+}
+
+// gvtReduce is the two-phase GVT reduction (the parallel arm of gvtRound):
+// phase one fans a request out to every shard, which computes the min
+// virtual-time bound and queue-occupancy partials over its own tiles;
+// phase two folds the per-shard partials in shard order on the sequencer.
+// Min and sum are exact regardless of grouping, and each shard's per-tile
+// occupancy writes land in disjoint index ranges, so the folded results
+// are bit-identical to the serial tile loop.
+func (p *parRuntime) gvtReduce(now uint64) (gvt vt.Time, tq, cq uint64) {
+	for i, s := range p.shards {
+		req := &p.reqs[i]
+		req.now = now
+		req.min = vt.Infinity
+		req.tq, req.cq = 0, 0
+		req.done.Store(false)
+		s.req.Store(req)
+		select {
+		case s.notify <- struct{}{}:
+		default:
+		}
+	}
+	gvt = vt.Infinity
+	for i := range p.shards {
+		req := &p.reqs[i]
+		for !req.done.Load() {
+			runtime.Gosched()
+		}
+		if req.min.Less(gvt) {
+			gvt = req.min
+		}
+		tq += req.tq
+		cq += req.cq
+	}
+	return gvt, tq, cq
+}
+
+// reduceShard computes one shard's reduction slice: min tileMinVT plus
+// occupancy sums over its tiles. Per-tile occupancy statistics are written
+// directly (each tile belongs to exactly one shard). Everything read here
+// — cores, queues, heaps — is frozen while the sequencer waits inside the
+// GVT event; concurrent continuation jobs touch only coroutine-local
+// state.
+func (p *parRuntime) reduceShard(s *parShard, req *gvtReq) {
+	m := p.m
+	for i := s.loTile; i < s.hiTile; i++ {
+		tt := m.tiles[i]
+		if tv := m.tileMinVT(tt, req.now); tv.Less(req.min) {
+			req.min = tv
+		}
+		tq := uint64(tt.nTasks)
+		cq := uint64(tt.commitQ.Len() + tt.finishWait.Len())
+		req.tq += tq
+		req.cq += cq
+		m.st.tileTqOccSum[i] += tq
+		m.st.tileCqOccSum[i] += cq
+	}
+}
+
+// getJob / putJob recycle job structs (sequencer-side only).
+func (p *parRuntime) getJob() *parJob {
+	if n := len(p.jobPool); n > 0 {
+		j := p.jobPool[n-1]
+		p.jobPool = p.jobPool[:n-1]
+		return j
+	}
+	return &parJob{}
+}
+
+func (p *parRuntime) putJob(j *parJob) {
+	*j = parJob{}
+	p.jobPool = append(p.jobPool, j)
+}
+
+// spscRing is a bounded single-producer single-consumer queue of job
+// pointers: the sequencer pushes, one shard worker pops. Go's atomic
+// loads/stores are sequentially consistent, which subsumes the
+// acquire/release pairing a classic SPSC ring needs; the slot array uses
+// atomic pointers so the consumer's read of a just-published slot is
+// well-defined under the race detector.
+type spscRing struct {
+	buf  []atomic.Pointer[parJob]
+	mask uint64
+	head atomic.Uint64 // consumer position
+	tail atomic.Uint64 // producer position
+}
+
+// init sizes the ring to the next power of two >= capacity (and >= 2).
+func (r *spscRing) init(capacity int) {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	r.buf = make([]atomic.Pointer[parJob], n)
+	r.mask = uint64(n - 1)
+}
+
+// push appends a job; it reports false when the ring is full.
+func (r *spscRing) push(j *parJob) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() == uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[t&r.mask].Store(j)
+	r.tail.Store(t + 1)
+	return true
+}
+
+// pop removes the oldest job, or returns nil when the ring is empty.
+func (r *spscRing) pop() *parJob {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return nil
+	}
+	j := r.buf[h&r.mask].Load()
+	r.buf[h&r.mask].Store(nil)
+	r.head.Store(h + 1)
+	return j
+}

@@ -47,6 +47,10 @@ type Suite struct {
 	// Swarm configuration the suite builds (see SetMapper).
 	mapperName string
 
+	// simWorkers, when > 1, shards every Swarm machine the suite builds
+	// across that many simulator goroutines (see SetSimWorkers).
+	simWorkers int
+
 	// Deduplicating caches shared by concurrent sweep workers.
 	serialCycles memo[appCoresKey, uint64]     // serial baselines
 	defaultRuns  memo[appCoresKey, core.Stats] // default-config Swarm runs
@@ -84,6 +88,14 @@ func (s *Suite) SetProgress(fn ProgressFunc) { s.pool.SetProgress(fn) }
 // any sweep: the deduplicating run caches key on (app, cores) only.
 func (s *Suite) SetMapper(name string) { s.mapperName = name }
 
+// SetSimWorkers sets the tile-parallel shard count of every Swarm machine
+// the suite builds (core.Config.SimWorkers; 0 or 1 keeps the
+// single-threaded simulator). Orthogonal to SetWorkers, which fans whole
+// simulations out across sweep points: SimWorkers parallelizes inside one
+// machine, and results are bit-identical for every value. Call before any
+// sweep: the deduplicating run caches key on (app, cores) only.
+func (s *Suite) SetSimWorkers(n int) { s.simWorkers = n }
+
 // config returns the suite's Swarm machine configuration for a core count:
 // Table 3 defaults plus the suite-wide mapper override.
 func (s *Suite) config(cores int) core.Config {
@@ -91,6 +103,7 @@ func (s *Suite) config(cores int) core.Config {
 	if s.mapperName != "" {
 		cfg.Mapper = s.mapperName
 	}
+	cfg.SimWorkers = s.simWorkers
 	return cfg
 }
 
@@ -616,6 +629,7 @@ func (s *Suite) MapperSweep(cores int, mappers []string) ([]MapperPoint, error) 
 			name, b := mappers[i/nb], s.Benchmarks[i%nb]
 			cfg := core.DefaultConfig(cores)
 			cfg.Mapper = name
+			cfg.SimWorkers = s.simWorkers
 			st, err := b.RunSwarm(cfg)
 			if err != nil {
 				return fmt.Errorf("%s mapper=%s: %w", b.Name(), name, err)

@@ -73,6 +73,29 @@ func TestPoolProgress(t *testing.T) {
 	}
 }
 
+// TestPoolZeroValueRejected checks that a zero-value Pool (never
+// initialized via NewPool/SetWorkers, so workers == 0) fails loudly
+// instead of spawning zero workers and silently running nothing.
+func TestPoolZeroValueRejected(t *testing.T) {
+	var p Pool
+	ran := false
+	err := p.Run(3, nil, func(int) error { ran = true; return nil })
+	if err == nil {
+		t.Fatal("zero-value Pool.Run returned nil, want a descriptive error")
+	}
+	if ran {
+		t.Fatal("zero-value Pool ran tasks despite erroring")
+	}
+	if want := "harness: pool has 0 workers"; !bytes.Contains([]byte(err.Error()), []byte(want)) {
+		t.Fatalf("err = %q, want it to mention %q", err, want)
+	}
+	// After SetWorkers the same Pool works.
+	p.SetWorkers(2)
+	if err := p.Run(3, nil, func(int) error { return nil }); err != nil {
+		t.Fatalf("after SetWorkers: %v", err)
+	}
+}
+
 // TestPoolWorkersDefault checks the NumCPU fallback.
 func TestPoolWorkersDefault(t *testing.T) {
 	if NewPool(0).Workers() < 1 {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -62,6 +63,12 @@ func (p *Pool) SetProgress(fn ProgressFunc) { p.progress = fn }
 // the strictly sequential workers==1 path stops at the first failure,
 // where determinism is free. label may be nil.
 func (p *Pool) Run(n int, label func(int) string, fn func(int) error) error {
+	if p.workers <= 0 {
+		// A zero-value Pool{} (NewPool and SetWorkers both map n <= 0 to
+		// NumCPU) would otherwise spawn zero workers and return nil having
+		// silently run nothing.
+		return fmt.Errorf("harness: pool has %d workers (use NewPool or SetWorkers before Run)", p.workers)
+	}
 	if n <= 0 {
 		return nil
 	}

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"reflect"
 	"runtime"
 	"testing"
 
@@ -30,16 +31,24 @@ import (
 // milliseconds so -bench converges quickly.
 var simcoreApps = []string{"sssp", "des"}
 
+// simcoreWorkers are the measured SimWorkers points: the single-threaded
+// simulator and the tile-parallel machine at two shard counts. Results are
+// bit-identical across all of them; only host throughput differs.
+var simcoreWorkers = []int{1, 2, 8}
+
 const (
 	simcoreScale = bench.ScaleSmall
 	simcoreCores = 64
 )
 
-// runSimcoreOnce runs one app once and returns its stats.
-func runSimcoreOnce(tb testing.TB, b bench.Benchmark) core.Stats {
-	st, err := b.RunSwarm(core.DefaultConfig(simcoreCores))
+// runSimcoreOnce runs one app once with the given shard count and returns
+// its stats.
+func runSimcoreOnce(tb testing.TB, b bench.Benchmark, simWorkers int) core.Stats {
+	cfg := core.DefaultConfig(simcoreCores)
+	cfg.SimWorkers = simWorkers
+	st, err := b.RunSwarm(cfg)
 	if err != nil {
-		tb.Fatalf("%s: %v", b.Name(), err)
+		tb.Fatalf("%s simworkers=%d: %v", b.Name(), simWorkers, err)
 	}
 	return st
 }
@@ -50,30 +59,35 @@ func BenchmarkSimcore(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.Run(name, func(b *testing.B) {
-			b.ReportAllocs()
-			var events, cycles uint64
-			for i := 0; i < b.N; i++ {
-				st := runSimcoreOnce(b, app)
-				events += st.Events
-				cycles += st.Cycles
-			}
-			sec := b.Elapsed().Seconds()
-			if sec > 0 {
-				b.ReportMetric(float64(events)/sec, "events/sec")
-			}
-			if cycles > 0 {
-				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(cycles), "ns/sim-cycle")
-			}
-		})
+		for _, sw := range simcoreWorkers {
+			sw := sw
+			b.Run(fmt.Sprintf("%s/simworkers=%d", name, sw), func(b *testing.B) {
+				b.ReportAllocs()
+				var events, cycles uint64
+				for i := 0; i < b.N; i++ {
+					st := runSimcoreOnce(b, app, sw)
+					events += st.Events
+					cycles += st.Cycles
+				}
+				sec := b.Elapsed().Seconds()
+				if sec > 0 {
+					b.ReportMetric(float64(events)/sec, "events/sec")
+				}
+				if cycles > 0 {
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(cycles), "ns/sim-cycle")
+				}
+			})
+		}
 	}
 }
 
 // SimcoreRecord is the schema of BENCH_simcore.json: one measurement of
-// simulator-core host performance per app, plus host metadata. Each run
-// replaces the file with the current snapshot; the trajectory lives in
-// version control (one committed snapshot per change), which is what
-// makes host-side regressions visible.
+// simulator-core host performance per (app, simworkers) point, plus host
+// metadata. Each run replaces the file with the current snapshot; the
+// trajectory lives in version control (one committed snapshot per change),
+// which is what makes host-side regressions visible. Serial and parallel
+// entries for one app sit side by side, so the scaling (or, on a
+// single-CPU host, the sharding overhead) is read directly off the file.
 type SimcoreRecord struct {
 	GoVersion string            `json:"go_version"`
 	NumCPU    int               `json:"num_cpu"`
@@ -82,9 +96,11 @@ type SimcoreRecord struct {
 	Apps      []SimcoreAppEntry `json:"apps"`
 }
 
-// SimcoreAppEntry is one app's host-performance measurement.
+// SimcoreAppEntry is one (app, simworkers) host-performance measurement.
+// SimWorkers == 1 is the single-threaded simulator.
 type SimcoreAppEntry struct {
 	App           string  `json:"app"`
+	SimWorkers    int     `json:"sim_workers"`
 	EventsPerSec  float64 `json:"events_per_sec"`
 	NsPerSimCycle float64 `json:"ns_per_sim_cycle"`
 	NsPerOp       int64   `json:"ns_per_op"`
@@ -94,10 +110,10 @@ type SimcoreAppEntry struct {
 	SimCycles     uint64  `json:"sim_cycles"`
 }
 
-// TestWriteSimcoreBenchJSON measures every simcore app via
-// testing.Benchmark and writes BENCH_simcore.json. Gated behind
+// TestWriteSimcoreBenchJSON measures every simcore (app, simworkers) point
+// via testing.Benchmark and writes BENCH_simcore.json. Gated behind
 // SWARM_BENCH_JSON so normal test runs don't spend minutes benchmarking;
-// CI's bench-smoke job sets the variable and uploads the artifact.
+// CI's bench jobs set the variable and upload the artifact.
 func TestWriteSimcoreBenchJSON(t *testing.T) {
 	if os.Getenv("SWARM_BENCH_JSON") == "" {
 		t.Skip("set SWARM_BENCH_JSON=1 to run the simcore benchmarks and write BENCH_simcore.json")
@@ -113,29 +129,41 @@ func TestWriteSimcoreBenchJSON(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var last core.Stats
-		res := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				last = runSimcoreOnce(b, app)
+		var serial *core.Stats
+		for _, sw := range simcoreWorkers {
+			var last core.Stats
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					last = runSimcoreOnce(b, app, sw)
+				}
+			})
+			if sw == 1 {
+				serial = &last
+			} else if serial != nil && !reflect.DeepEqual(last, *serial) {
+				// The JSON record must never ship numbers from a divergent
+				// parallel run; the differential suite is the real guard,
+				// this is a last-resort tripwire.
+				t.Fatalf("%s simworkers=%d: Stats diverge from the serial run", name, sw)
 			}
-		})
-		nsPerOp := res.NsPerOp()
-		entry := SimcoreAppEntry{
-			App:         name,
-			NsPerOp:     nsPerOp,
-			AllocsPerOp: res.AllocsPerOp(),
-			BytesPerOp:  res.AllocedBytesPerOp(),
-			Events:      last.Events,
-			SimCycles:   last.Cycles,
+			nsPerOp := res.NsPerOp()
+			entry := SimcoreAppEntry{
+				App:         name,
+				SimWorkers:  sw,
+				NsPerOp:     nsPerOp,
+				AllocsPerOp: res.AllocsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+				Events:      last.Events,
+				SimCycles:   last.Cycles,
+			}
+			if nsPerOp > 0 {
+				entry.EventsPerSec = float64(last.Events) / (float64(nsPerOp) / 1e9)
+				entry.NsPerSimCycle = float64(nsPerOp) / float64(last.Cycles)
+			}
+			rec.Apps = append(rec.Apps, entry)
+			t.Logf("%s simworkers=%d: %.0f events/sec, %.1f ns/sim-cycle, %d allocs/op, %d B/op",
+				name, sw, entry.EventsPerSec, entry.NsPerSimCycle, entry.AllocsPerOp, entry.BytesPerOp)
 		}
-		if nsPerOp > 0 {
-			entry.EventsPerSec = float64(last.Events) / (float64(nsPerOp) / 1e9)
-			entry.NsPerSimCycle = float64(nsPerOp) / float64(last.Cycles)
-		}
-		rec.Apps = append(rec.Apps, entry)
-		t.Logf("%s: %.0f events/sec, %.1f ns/sim-cycle, %d allocs/op, %d B/op",
-			name, entry.EventsPerSec, entry.NsPerSimCycle, entry.AllocsPerOp, entry.BytesPerOp)
 	}
 	f, err := os.Create("BENCH_simcore.json")
 	if err != nil {

@@ -58,6 +58,8 @@ type FnID = guest.FnID
 type Task = guest.TaskDesc
 
 // Config describes the simulated machine (Table 3 of the paper).
+// Config.SimWorkers > 1 shards the simulation across host goroutines
+// with bit-identical results (see DESIGN.md, "Tile-parallel simulation").
 type Config = core.Config
 
 // Stats reports a run's cycles, commits, aborts, queue occupancies, NoC
