@@ -41,8 +41,20 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-task progress lines on stderr")
 	flag.Parse()
 
-	scale, err := harness.ParseScale(*scaleF)
+	// Validate every selector flag up front against the registries (a bad
+	// value fails here, with the valid options, instead of minutes into
+	// the sweep).
+	scale, err := harness.ValidateScale(*scaleF)
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := harness.ValidateMapper(*mapper); err != nil {
+		log.Fatal(err)
+	}
+	if err := harness.ValidateCores(*maxCores); err != nil {
+		log.Fatal(err)
+	}
+	if err := harness.ValidateSimWorkers(*simWorkers); err != nil {
 		log.Fatal(err)
 	}
 
@@ -72,8 +84,25 @@ func main() {
 	fmt.Fprintf(out, "Swarm reproduction: scale=%s, cores=%v\n", scale, coreCounts)
 	fmt.Fprintf(os.Stderr, "running with %d workers\n", s.Workers())
 
+	// step prints the banner and runs one experiment; a failure is
+	// recorded and reported but does not abort the sweep — later tables
+	// and figures still run, and the process exits non-zero once at the
+	// end. (Wall-clock timing goes to stderr so stdout stays
+	// byte-identical across runs and worker counts.)
+	var failures []string
+	step := func(title string, fn func() error) {
+		fmt.Fprint(out, harness.Banner(title))
+		start := time.Now()
+		if err := fn(); err != nil {
+			failures = append(failures, title)
+			fmt.Fprintf(os.Stderr, "ERROR: %s failed: %v\n", title, err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "%s: [%.1fs]\n", title, time.Since(start).Seconds())
+	}
+
 	if enabled("table1") {
-		step(out, "Table 1: parallelism limit study", func() error {
+		step("Table 1: parallelism limit study", func() error {
 			rows := s.Table1(0)
 			harness.PrintTable1(out, rows)
 			return writeCSV(*csvDir, "table1.csv", func(w *os.File) error {
@@ -82,7 +111,7 @@ func main() {
 		})
 	}
 	if enabled("table2") {
-		step(out, "Table 2: task unit hardware costs", func() error {
+		step("Table 2: task unit hardware costs", func() error {
 			harness.PrintTable2(out, core.DefaultConfig(64))
 			return nil
 		})
@@ -92,7 +121,7 @@ func main() {
 	needScaling := enabled("fig11") || enabled("fig12") || enabled("fig14") ||
 		enabled("fig15") || enabled("fig16") || enabled("table4")
 	if needScaling {
-		step(out, "Fig 11/12: scaling (Swarm, serial, software-parallel)", func() error {
+		step("Fig 11/12: scaling (Swarm, serial, software-parallel)", func() error {
 			var err error
 			results, err = s.ScalingAll(coreCounts)
 			if err != nil {
@@ -117,7 +146,7 @@ func main() {
 		})
 	}
 	if enabled("table4") {
-		step(out, "Table 4: serial run-times", func() error {
+		step("Table 4: serial run-times", func() error {
 			fmt.Fprintf(out, "%-8s %16s\n", "app", "serial cycles")
 			for _, b := range s.Benchmarks {
 				cyc, err := s.Serial(b, 1)
@@ -130,7 +159,7 @@ func main() {
 		})
 	}
 	if enabled("fig14") {
-		step(out, "Fig 14: aggregate core-cycle breakdowns", func() error {
+		step("Fig 14: aggregate core-cycle breakdowns", func() error {
 			for _, r := range results {
 				harness.PrintFig14(out, r.App, r.Points)
 			}
@@ -138,19 +167,19 @@ func main() {
 		})
 	}
 	if enabled("fig15") {
-		step(out, "Fig 15: queue occupancies", func() error {
+		step("Fig 15: queue occupancies", func() error {
 			harness.PrintFig15(out, results)
 			return nil
 		})
 	}
 	if enabled("fig16") {
-		step(out, "Fig 16: NoC traffic", func() error {
+		step("Fig 16: NoC traffic", func() error {
 			harness.PrintFig16(out, results)
 			return nil
 		})
 	}
 	if enabled("fig13") {
-		step(out, "Fig 13: silo warehouse sensitivity", func() error {
+		step("Fig 13: silo warehouse sensitivity", func() error {
 			txns := map[harness.Scale]int{harness.ScaleTiny: 60, harness.ScaleSmall: 200, harness.ScaleMedium: 800}[scale]
 			pts, err := s.Fig13([]int{16, 4, 1}, *maxCores, txns)
 			if err != nil {
@@ -161,7 +190,7 @@ func main() {
 		})
 	}
 	if enabled("table5") {
-		step(out, "Table 5: idealization study", func() error {
+		step("Table 5: idealization study", func() error {
 			rows, err := s.Table5(*maxCores)
 			if err != nil {
 				return err
@@ -171,7 +200,7 @@ func main() {
 		})
 	}
 	if enabled("fig17a") {
-		step(out, "Fig 17(a): commit queue size sweep", func() error {
+		step("Fig 17(a): commit queue size sweep", func() error {
 			totals := []int{}
 			for _, per := range []int{2, 4, 8, 16, 32} {
 				totals = append(totals, per**maxCores)
@@ -186,7 +215,7 @@ func main() {
 		})
 	}
 	if enabled("fig17b") {
-		step(out, "Fig 17(b): Bloom filter sweep", func() error {
+		step("Fig 17(b): Bloom filter sweep", func() error {
 			pts, err := s.BloomSweep(*maxCores, []bloom.Config{
 				{Bits: 256, Ways: 4},
 				{Bits: 1024, Ways: 4},
@@ -201,7 +230,7 @@ func main() {
 		})
 	}
 	if enabled("gvt") {
-		step(out, "§6.4: GVT update period sweep", func() error {
+		step("§6.4: GVT update period sweep", func() error {
 			pts, err := s.GVTSweep(*maxCores, []uint64{50, 100, 200, 400, 800})
 			if err != nil {
 				return err
@@ -211,7 +240,7 @@ func main() {
 		})
 	}
 	if enabled("canary") {
-		step(out, "§6.3: canary virtual time precision", func() error {
+		step("§6.3: canary virtual time precision", func() error {
 			red, sp, err := s.CanaryStudy(*maxCores)
 			if err != nil {
 				return err
@@ -221,7 +250,7 @@ func main() {
 		})
 	}
 	if enabled("mappers") {
-		step(out, "task-mapping policy sweep", func() error {
+		step("task-mapping policy sweep", func() error {
 			pts, err := s.MapperSweep(*maxCores, core.MapperNames())
 			if err != nil {
 				return err
@@ -233,7 +262,7 @@ func main() {
 		})
 	}
 	if enabled("phases") {
-		step(out, "phased sessions: per-phase statistics of multi-phase workloads", func() error {
+		step("phased sessions: per-phase statistics of multi-phase workloads", func() error {
 			pts, err := s.PhasedRuns(coreCounts)
 			if err != nil {
 				return err
@@ -245,7 +274,7 @@ func main() {
 		})
 	}
 	if enabled("fig18") {
-		step(out, "Fig 18: astar execution trace (16 cores, 4 tiles)", func() error {
+		step("Fig 18: astar execution trace (16 cores, 4 tiles)", func() error {
 			st, err := s.Fig18()
 			if err != nil {
 				return err
@@ -255,6 +284,10 @@ func main() {
 				return harness.WriteTraceCSV(w, st)
 			})
 		})
+	}
+
+	if len(failures) > 0 {
+		log.Fatalf("%d experiment step(s) failed: %s", len(failures), strings.Join(failures, "; "))
 	}
 }
 
@@ -280,15 +313,4 @@ func coreSweep(maxCores int) []int {
 		out = append(out, c)
 	}
 	return out
-}
-
-// step prints the banner to stdout and runs fn; wall-clock timing goes to
-// stderr so stdout stays byte-identical across runs and worker counts.
-func step(out *os.File, title string, fn func() error) {
-	fmt.Fprint(out, harness.Banner(title))
-	start := time.Now()
-	if err := fn(); err != nil {
-		log.Fatalf("%s failed: %v", title, err)
-	}
-	fmt.Fprintf(os.Stderr, "%s: [%.1fs]\n", title, time.Since(start).Seconds())
 }

@@ -1,0 +1,167 @@
+// Command swarmd runs the Swarm simulator as a long-lived service: an
+// HTTP/JSON API accepting simulation jobs and live phased sessions,
+// executing them on a bounded worker pool with a deduplicating result
+// cache. A second, admin-only listener carries net/http/pprof profiles
+// and expvar operational counters; keep it off public networks.
+//
+// Serve (the default):
+//
+//	swarmd [-host 127.0.0.1] [-port 8080] [-admin-host 127.0.0.1] [-admin-port 6060]
+//	       [-workers N] [-queue 64] [-sessions 8] [-drain-timeout 30s]
+//
+// Tools, for poking a running daemon without remembering pprof URLs:
+//
+//	swarmd tools heap    [-admin http://127.0.0.1:6060]  > heap.pprof
+//	swarmd tools profile [-admin ...] [-seconds 10]      > cpu.pprof
+//	swarmd tools vars    [-admin ...]
+//
+// SIGINT/SIGTERM drain gracefully: admission stops, accepted jobs finish
+// (bounded by -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"github.com/swarm-sim/swarm/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("swarmd: ")
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "tools" {
+		if err := runTools(args[1:]); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := runServe(args); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("swarmd", flag.ExitOnError)
+	var (
+		host         = fs.String("host", "127.0.0.1", "API listen address")
+		port         = fs.Int("port", 8080, "API listen port")
+		adminHost    = fs.String("admin-host", "127.0.0.1", "admin (pprof/expvar) listen address")
+		adminPort    = fs.Int("admin-port", 6060, "admin listen port (0 disables the admin listener)")
+		workers      = fs.Int("workers", 0, "concurrent simulations (0 = number of CPUs)")
+		queue        = fs.Int("queue", 64, "job queue depth; submissions past it get 503")
+		sessions     = fs.Int("sessions", 8, "max live phased sessions")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
+	)
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (subcommands: tools)", fs.Arg(0))
+	}
+
+	srv := serve.New(serve.Config{Workers: *workers, QueueDepth: *queue, MaxSessions: *sessions})
+
+	apiAddr := net.JoinHostPort(*host, strconv.Itoa(*port))
+	apiLn, err := net.Listen("tcp", apiAddr)
+	if err != nil {
+		return fmt.Errorf("api listen: %w", err)
+	}
+	api := &http.Server{Handler: srv.Handler()}
+	log.Printf("api listening on http://%s", apiLn.Addr())
+
+	var admin *http.Server
+	if *adminPort != 0 {
+		adminAddr := net.JoinHostPort(*adminHost, strconv.Itoa(*adminPort))
+		adminLn, err := net.Listen("tcp", adminAddr)
+		if err != nil {
+			apiLn.Close()
+			return fmt.Errorf("admin listen: %w", err)
+		}
+		admin = &http.Server{Handler: srv.AdminHandler()}
+		log.Printf("admin (pprof, expvar) on http://%s — do not expose publicly", adminLn.Addr())
+		go func() {
+			if err := admin.Serve(adminLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("admin server: %v", err)
+			}
+		}()
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := api.Serve(apiLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return fmt.Errorf("api server: %w", err)
+	case sig := <-sigc:
+		log.Printf("received %s, draining (timeout %s)", sig, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain order: stop the daemon's job admission first so in-flight work
+	// finishes, then close the HTTP listeners.
+	drainErr := srv.Shutdown(ctx)
+	api.Shutdown(ctx)
+	if admin != nil {
+		admin.Shutdown(ctx)
+	}
+	if drainErr != nil {
+		return fmt.Errorf("drain incomplete: %w", drainErr)
+	}
+	log.Print("drained cleanly")
+	return nil
+}
+
+// runTools implements `swarmd tools <cmd>`: thin fetches against a running
+// daemon's admin port, piping profiles to stdout for `go tool pprof`.
+func runTools(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: swarmd tools {heap|profile|vars} [flags]")
+	}
+	cmd, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("swarmd tools "+cmd, flag.ExitOnError)
+	admin := fs.String("admin", "http://127.0.0.1:6060", "admin base URL of the running daemon")
+	seconds := fs.Int("seconds", 10, "CPU profile duration (profile only)")
+	fs.Parse(rest)
+
+	var url string
+	switch cmd {
+	case "heap":
+		url = *admin + "/debug/pprof/heap"
+	case "profile":
+		url = fmt.Sprintf("%s/debug/pprof/profile?seconds=%d", *admin, *seconds)
+	case "vars":
+		url = *admin + "/debug/vars"
+	default:
+		return fmt.Errorf("unknown tools command %q (valid: heap, profile, vars)", cmd)
+	}
+
+	client := &http.Client{Timeout: time.Duration(*seconds+30) * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return fmt.Errorf("is the daemon running? %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, body)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}

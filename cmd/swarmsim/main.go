@@ -42,32 +42,47 @@ func main() {
 		"task-mapping policy: "+strings.Join(core.MapperNames(), ", "))
 	phases := flag.Bool("phases", false,
 		"print per-phase statistics for session (multi-phase) benchmarks")
+	csvOut := flag.Bool("csv", false,
+		"emit one machine-readable CSV row per app instead of the report (-impl swarm only; swarmd serves the same format)")
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent simulations for multi-benchmark runs")
 	simWorkers := flag.Int("simworkers", 1,
 		"shard one simulated machine across N goroutines (results are bit-identical; 1 = single-threaded)")
 	flag.Parse()
 
-	scale, err := harness.ParseScale(*scaleF)
+	// Validate every selector flag up front against the registries, before
+	// any input generation runs: a typo fails in milliseconds with the
+	// valid options in the message instead of minutes later without them.
+	scale, err := harness.ValidateScale(*scaleF)
 	if err != nil {
 		log.Fatal(err)
 	}
+	names, err := harness.ResolveApps(*app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := harness.ValidateMapper(*mapper); err != nil {
+		log.Fatal(err)
+	}
+	if err := harness.ValidateCores(*cores); err != nil {
+		log.Fatal(err)
+	}
+	if err := harness.ValidateSimWorkers(*simWorkers); err != nil {
+		log.Fatal(err)
+	}
+	if *csvOut && *impl != "swarm" {
+		log.Fatalf("-csv requires -impl swarm (have %q)", *impl)
+	}
 
-	// Resolve -app against the self-registering app registry: "all" is
-	// every registered app in suite order; a name list constructs only
-	// the requested apps (input generation and host references are the
-	// startup cost, so don't pay them for apps that never run).
-	var apps []bench.Benchmark
-	if *app == "all" {
-		apps = bench.NewSuite(scale)
-	} else {
-		for _, name := range strings.Split(*app, ",") {
-			name = strings.TrimSpace(name)
-			b, err := bench.New(name, scale)
-			if err != nil {
-				log.Fatal(err)
-			}
-			apps = append(apps, b)
+	// Construct the requested apps only (input generation and host
+	// references are the startup cost, so don't pay them for apps that
+	// never run). Names are already validated, so New cannot fail.
+	apps := make([]bench.Benchmark, len(names))
+	for i, name := range names {
+		b, err := bench.New(name, scale)
+		if err != nil {
+			log.Fatal(err)
 		}
+		apps[i] = b
 	}
 
 	run := func(w io.Writer, b bench.Benchmark) error {
@@ -106,16 +121,22 @@ func main() {
 					return err
 				}
 				st = phs[len(phs)-1].Cumulative
-				printPhases(w, b.Name(), phs)
+				if !*csvOut {
+					printPhases(w, b.Name(), phs)
+				}
 			} else {
 				var err error
 				st, err = b.RunSwarm(cfg)
 				if err != nil {
 					return err
 				}
-				if *phases {
+				if *phases && !*csvOut {
 					fmt.Fprintf(w, "%s is single-phase; -phases adds nothing\n", b.Name())
 				}
+			}
+			if *csvOut {
+				fmt.Fprintln(w, harness.StatsCSVRow(b.Name(), st))
+				return nil
 			}
 			printStats(w, b.Name(), st)
 			if *trace > 0 {
@@ -130,20 +151,29 @@ func main() {
 	// One buffer per app: workers deposit output by index, so stdout reads
 	// in request order no matter which simulation finishes first. Errors
 	// are collected per app (never returned to the pool, which would stop
-	// a sequential run early but not a concurrent one) and reports print
-	// up to the first failure, keeping stdout identical for every worker
-	// count even when an app fails.
+	// a sequential run early but not a concurrent one). Every completed
+	// report prints and every failure is reported — one bad app no longer
+	// discards the runs that already succeeded — then the process exits
+	// non-zero exactly once.
 	bufs := make([]bytes.Buffer, len(apps))
 	errs := make([]error, len(apps))
 	pool := harness.NewPool(*workers)
 	pool.Run(len(apps),
 		func(i int) string { return apps[i].Name() },
 		func(i int) error { errs[i] = run(&bufs[i], apps[i]); return nil })
+	if *csvOut {
+		fmt.Println(harness.StatsCSVHeader)
+	}
+	failed := 0
 	for i := range bufs {
-		if errs[i] != nil {
-			log.Fatal(errs[i])
-		}
 		os.Stdout.Write(bufs[i].Bytes())
+		if errs[i] != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "swarmsim: %s: %v\n", apps[i].Name(), errs[i])
+		}
+	}
+	if failed > 0 {
+		log.Fatalf("%d of %d runs failed", failed, len(apps))
 	}
 }
 

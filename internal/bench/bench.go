@@ -122,6 +122,76 @@ type Phased interface {
 	RunSwarmPhases(cfg core.Config) ([]core.PhaseStats, error)
 }
 
+// Session is a live phased run: a warm simulated machine parked at a
+// quiescent point between phases. Where RunSwarmPhases executes every
+// phase in one call, a Session steps on demand — the resubmission pattern
+// a simulation daemon serves, where a client advances an incremental
+// workload one update batch at a time against state that stays resident.
+//
+// A Session is not safe for concurrent use; callers (e.g. swarmd's
+// session pool) serialize Step per session. Stepping a session is
+// deterministic: the k-th phase produces identical statistics no matter
+// how the steps interleave with other sessions.
+type Session struct {
+	app    string
+	total  int
+	phases []core.PhaseStats
+	step   func(phase int) (core.PhaseStats, error)
+	snap   func() core.Stats
+}
+
+// NewSession assembles a live session for OpenSession implementations:
+// total phases, a step hook executing 0-based phase k (inject the phase's
+// inputs, run to quiescence, verify), and a cumulative-stats snapshot hook.
+func NewSession(app string, total int, step func(phase int) (core.PhaseStats, error), snap func() core.Stats) *Session {
+	return &Session{app: app, total: total, step: step, snap: snap}
+}
+
+// App returns the benchmark name the session runs.
+func (s *Session) App() string { return s.app }
+
+// PhaseCount returns the session's total phase count.
+func (s *Session) PhaseCount() int { return s.total }
+
+// Done returns how many phases have completed.
+func (s *Session) Done() int { return len(s.phases) }
+
+// Remaining returns how many phases are left to step.
+func (s *Session) Remaining() int { return s.total - len(s.phases) }
+
+// Phases returns the statistics of every completed phase, in order.
+func (s *Session) Phases() []core.PhaseStats { return s.phases }
+
+// Stats returns cumulative statistics at the session's current quiescent
+// point.
+func (s *Session) Stats() core.Stats { return s.snap() }
+
+// Step executes the next phase — injecting that phase's inputs, running
+// to quiescence and verifying against the per-phase reference — and
+// returns its statistics. Stepping past the last phase is an error.
+func (s *Session) Step() (core.PhaseStats, error) {
+	if s.Remaining() == 0 {
+		return core.PhaseStats{}, fmt.Errorf("%s session: all %d phases have run", s.app, s.total)
+	}
+	ph, err := s.step(len(s.phases))
+	if err != nil {
+		return core.PhaseStats{}, err
+	}
+	s.phases = append(s.phases, ph)
+	return ph, nil
+}
+
+// Sessioned is implemented by phased benchmarks that can open a live
+// session instead of running all phases at once. RunSwarmPhases on such a
+// benchmark is equivalent to opening a session and stepping it to
+// completion — bit-identical statistics either way.
+type Sessioned interface {
+	Phased
+	// OpenSession builds the machine (laying out guest memory and
+	// enqueueing the initial roots) and parks it before phase 1.
+	OpenSession(cfg core.Config) (*Session, error)
+}
+
 // spawnRange fans a [lo, hi) index range out as tasks with function
 // edgeFn(ts(i), i), using a tree of spawner tasks to respect the 8-child
 // hardware limit (§4.1: tasks that need more children enqueue tasks that

@@ -47,6 +47,7 @@ func init() {
 		Order:       9,
 		Summary:     "incremental SSSP over a dynamic road network (multi-phase session)",
 		HasParallel: false,
+		Phased:      true,
 	}, func(s Scale) Benchmark {
 		switch s {
 		case ScaleTiny:
@@ -185,12 +186,14 @@ func (b *IncSSSP) swarmApp() (SwarmApp, *graph.GuestCSR, *guest.FnID) {
 	return app, gc, relaxID
 }
 
-// RunSwarmPhases implements Phased: a full session — initial solve, then
-// one phase per update batch, each batch applied to guest memory at setup
-// cost with one relax root injected per updated arc whose tail is
-// reachable. Every phase is verified against its Dijkstra reference
-// before the next begins.
-func (b *IncSSSP) RunSwarmPhases(cfg core.Config) ([]core.PhaseStats, error) {
+// OpenSession implements Sessioned: it builds the machine and parks it
+// before the initial solve. Each Step then runs one phase — phase 1 is
+// the from-scratch solve; phase k+1 applies update batch k to guest
+// memory at setup cost, injecting one relax root per updated arc whose
+// tail is reachable — and verifies the distances against that phase's
+// Dijkstra reference. The machine stays warm between steps, which is what
+// lets a daemon serve incremental resubmission against live state.
+func (b *IncSSSP) OpenSession(cfg core.Config) (*Session, error) {
 	app, gc, relaxID := b.swarmApp()
 	m, err := core.NewMachine(cfg, app.Program())
 	if err != nil {
@@ -199,36 +202,44 @@ func (b *IncSSSP) RunSwarmPhases(cfg core.Config) ([]core.PhaseStats, error) {
 	if err := m.Start(); err != nil {
 		return nil, err
 	}
-	phases := make([]core.PhaseStats, 0, b.PhaseCount())
-	ph, err := m.RunPhase()
-	if err != nil {
-		return nil, fmt.Errorf("incsssp phase 1: %w", err)
-	}
-	if err := b.verifyPhase(m.Mem().Load, *gc, 0); err != nil {
-		return nil, err
-	}
-	phases = append(phases, ph)
-
-	for k, batch := range b.batches {
-		for _, u := range batch {
-			m.Mem().Store(gc.WAddr(u.arc), u.newW)
-			du := m.Mem().Load(gc.DistAddr(u.src))
-			if du == graph.Unvisited {
-				continue // tail unreachable: the decrease changes nothing yet
+	step := func(phase int) (core.PhaseStats, error) {
+		if phase > 0 {
+			for _, u := range b.batches[phase-1] {
+				m.Mem().Store(gc.WAddr(u.arc), u.newW)
+				du := m.Mem().Load(gc.DistAddr(u.src))
+				if du == graph.Unvisited {
+					continue // tail unreachable: the decrease changes nothing yet
+				}
+				d := guest.TaskDesc{Fn: *relaxID, TS: du + u.newW, Args: [3]uint64{u.dst}}
+				m.EnqueueRootDesc(d.WithHint(u.dst))
 			}
-			d := guest.TaskDesc{Fn: *relaxID, TS: du + u.newW, Args: [3]uint64{u.dst}}
-			m.EnqueueRootDesc(d.WithHint(u.dst))
 		}
 		ph, err := m.RunPhase()
 		if err != nil {
-			return nil, fmt.Errorf("incsssp phase %d: %w", k+2, err)
+			return core.PhaseStats{}, fmt.Errorf("incsssp phase %d: %w", phase+1, err)
 		}
-		if err := b.verifyPhase(m.Mem().Load, *gc, k+1); err != nil {
+		if err := b.verifyPhase(m.Mem().Load, *gc, phase); err != nil {
+			return core.PhaseStats{}, err
+		}
+		return ph, nil
+	}
+	return NewSession(b.Name(), b.PhaseCount(), step, m.Snapshot), nil
+}
+
+// RunSwarmPhases implements Phased: a full session — the initial solve,
+// then one phase per update batch — by opening a live session and
+// stepping it to completion.
+func (b *IncSSSP) RunSwarmPhases(cfg core.Config) ([]core.PhaseStats, error) {
+	s, err := b.OpenSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for s.Remaining() > 0 {
+		if _, err := s.Step(); err != nil {
 			return nil, err
 		}
-		phases = append(phases, ph)
 	}
-	return phases, nil
+	return s.Phases(), nil
 }
 
 // RunSwarm implements Benchmark: the whole session's cumulative

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"reflect"
 	"testing"
 
 	"github.com/swarm-sim/swarm/internal/core"
@@ -97,5 +98,65 @@ func TestIncSSSPSwarmMatchesPhases(t *testing.T) {
 	last := phases[len(phases)-1].Cumulative
 	if st.Cycles != last.Cycles || st.Commits != last.Commits || st.Events != last.Events {
 		t.Fatalf("RunSwarm %+v != phased cumulative %+v", st, last)
+	}
+}
+
+// TestIncSSSPSession drives the live-session API step by step and checks
+// it is exactly RunSwarmPhases unrolled: same phase statistics, correct
+// Done/Remaining accounting, cumulative snapshots at each quiescent
+// point, and a loud error past the last phase.
+func TestIncSSSPSession(t *testing.T) {
+	b := NewIncSSSP(10, 10, 2, 5, 3)
+	want, err := b.RunSwarmPhases(core.DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := b.OpenSession(core.DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.App() != "incsssp" || s.PhaseCount() != b.PhaseCount() || s.Done() != 0 {
+		t.Fatalf("fresh session: app=%q total=%d done=%d", s.App(), s.PhaseCount(), s.Done())
+	}
+	for k := 0; s.Remaining() > 0; k++ {
+		ph, err := s.Step()
+		if err != nil {
+			t.Fatalf("step %d: %v", k+1, err)
+		}
+		if !reflect.DeepEqual(ph, want[k]) {
+			t.Fatalf("step %d stats diverge from RunSwarmPhases", k+1)
+		}
+		if s.Done() != k+1 {
+			t.Fatalf("after step %d: Done = %d", k+1, s.Done())
+		}
+		if got := s.Stats(); got.Cycles != ph.Cumulative.Cycles || got.Commits != ph.Cumulative.Commits {
+			t.Fatalf("step %d: session snapshot disagrees with the phase's cumulative stats", k+1)
+		}
+	}
+	if !reflect.DeepEqual(s.Phases(), want) {
+		t.Fatal("session phases diverge from RunSwarmPhases")
+	}
+	if _, err := s.Step(); err == nil {
+		t.Fatal("stepping past the last phase: want an error")
+	}
+}
+
+// TestRegistryPhasedMeta: the Phased metadata bit agrees with the
+// constructed benchmark's interfaces for every registered app, and every
+// Sessioned app is also marked Phased.
+func TestRegistryPhasedMeta(t *testing.T) {
+	for _, meta := range Apps() {
+		b, err := New(meta.Name, ScaleTiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, isPhased := b.(Phased)
+		if meta.Phased != isPhased {
+			t.Errorf("%s: meta.Phased = %v but benchmark implements Phased = %v", meta.Name, meta.Phased, isPhased)
+		}
+		if _, isSessioned := b.(Sessioned); isSessioned && !isPhased {
+			t.Errorf("%s: Sessioned but not Phased", meta.Name)
+		}
 	}
 }

@@ -49,6 +49,11 @@ type AppMeta struct {
 	// HasParallel reports whether a software-parallel version exists
 	// (mirrors Benchmark.HasParallel).
 	HasParallel bool
+	// Phased reports whether the app is a multi-phase session workload
+	// (implements the Phased interface), so API consumers — swarmd's
+	// /apps endpoint, per-phase sweeps — can tell without constructing
+	// the benchmark.
+	Phased bool
 	// Figures lists evaluation tables/figures the app is singled out in
 	// beyond the whole-suite sweeps (e.g. "fig13", "fig18").
 	Figures []string

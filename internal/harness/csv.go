@@ -11,6 +11,30 @@ import (
 // CSV exporters: plot-ready data files for every figure (the paper's
 // figures are line/stacked-bar charts; these emit their exact series).
 
+// StatsCSVHeader is the column list of single-run stats rows: the shared
+// machine-readable result format of `swarmsim -csv` and swarmd's
+// GET /jobs/{id}/csv, which lets the CI smoke test diff the daemon's
+// answer against the one-shot CLI byte for byte.
+const StatsCSVHeader = "app,cores,cycles,commits,aborts,spilled,nacks,enqueues,dequeues," +
+	"committed_cycles,aborted_cycles,spill_cycles,stall_cycles,taskq_occ,commitq_occ," +
+	"bloom_checks,vt_compares,traffic_bytes,stolen_tasks,mapper"
+
+// StatsCSVRow formats one run as a StatsCSVHeader row (no newline).
+func StatsCSVRow(app string, st core.Stats) string {
+	return fmt.Sprintf("%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.3f,%d,%d,%d,%d,%s",
+		app, st.Cores, st.Cycles, st.Commits, st.Aborts, st.SpilledTasks, st.NACKs,
+		st.Enqueues, st.Dequeues,
+		st.CommittedCycles, st.AbortedCycles, st.SpillCycles, st.StallCycles,
+		st.AvgTaskQueueOcc, st.AvgCommitQueueOcc,
+		st.BloomChecks, st.VTCompares, st.TotalTrafficBytes(), st.StolenTasks, st.Mapper)
+}
+
+// WriteStatsCSV emits a single run as header plus one row.
+func WriteStatsCSV(w io.Writer, app string, st core.Stats) error {
+	_, err := fmt.Fprintf(w, "%s\n%s\n", StatsCSVHeader, StatsCSVRow(app, st))
+	return err
+}
+
 // WriteScalingCSV emits Fig 11/12 series: one row per (app, cores).
 func WriteScalingCSV(w io.Writer, results []ScalingResult) error {
 	if _, err := fmt.Fprintln(w, "app,cores,swarm_cycles,serial_cycles,parallel_cycles,self_speedup,vs_serial,parallel_vs_serial"); err != nil {

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -112,5 +113,69 @@ func TestCSVNoNaNOnEmptyApp(t *testing.T) {
 		if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
 			t.Fatalf("%s csv emitted NaN/Inf for an empty app:\n%s", name, out)
 		}
+	}
+}
+
+// TestStatsCSVFormat pins the single-run CSV format shared by
+// `swarmsim -csv` and swarmd's GET /jobs/{id}/csv: the header's column
+// count matches every row, a real run round-trips with the app name and
+// mapper in the right columns, and WriteStatsCSV is exactly header+row.
+// CI diffs daemon output against the CLI byte for byte; this test is the
+// package-local statement of the same contract.
+func TestStatsCSVFormat(t *testing.T) {
+	cfg := core.DefaultConfig(4)
+	b, err := bench.New("bfs", bench.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := b.RunSwarm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	row := StatsCSVRow("bfs", st)
+	hcols := strings.Split(StatsCSVHeader, ",")
+	rcols := strings.Split(row, ",")
+	if len(hcols) != len(rcols) {
+		t.Fatalf("header has %d columns, row has %d:\n%s\n%s", len(hcols), len(rcols), StatsCSVHeader, row)
+	}
+	if rcols[0] != "bfs" || rcols[1] != "4" {
+		t.Fatalf("app/cores columns: %q", rcols[:2])
+	}
+	if got := rcols[len(rcols)-1]; got != cfg.Mapper {
+		t.Fatalf("mapper column = %q, want %q", got, cfg.Mapper)
+	}
+	if rcols[2] != fmt.Sprint(st.Cycles) || rcols[3] != fmt.Sprint(st.Commits) {
+		t.Fatalf("cycles/commits columns: %q, stats %d/%d", rcols[2:4], st.Cycles, st.Commits)
+	}
+	if strings.Contains(row, "NaN") || strings.Contains(row, "Inf") {
+		t.Fatalf("row has non-finite fields: %s", row)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteStatsCSV(&buf, "bfs", st); err != nil {
+		t.Fatal(err)
+	}
+	if want := StatsCSVHeader + "\n" + row + "\n"; buf.String() != want {
+		t.Fatalf("WriteStatsCSV:\n got %q\nwant %q", buf.String(), want)
+	}
+}
+
+// TestMapperCSV covers the mapper-sweep exporter's shape.
+func TestMapperCSV(t *testing.T) {
+	var buf bytes.Buffer
+	pts := []MapperPoint{
+		{Mapper: "random", App: "bfs", Cycles: 100, Speedup: 1.0, Aborts: 3, NoCBytes: 500},
+		{Mapper: "hint", App: "bfs", Cycles: 90, Speedup: 1.111, Aborts: 2, NoCBytes: 350, Stolen: 0, Imbalance: 1.5},
+	}
+	if err := WriteMapperCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(pts) {
+		t.Fatalf("mapper csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[2], "hint,bfs,90,1.111,") {
+		t.Fatalf("unexpected row %q", lines[2])
 	}
 }

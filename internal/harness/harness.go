@@ -52,9 +52,9 @@ type Suite struct {
 	simWorkers int
 
 	// Deduplicating caches shared by concurrent sweep workers.
-	serialCycles memo[appCoresKey, uint64]     // serial baselines
-	defaultRuns  memo[appCoresKey, core.Stats] // default-config Swarm runs
-	silos        memo[siloKey, *bench.Silo]    // Fig 13 inputs
+	serialCycles Memo[appCoresKey, uint64]     // serial baselines
+	defaultRuns  Memo[appCoresKey, core.Stats] // default-config Swarm runs
+	silos        Memo[siloKey, *bench.Silo]    // Fig 13 inputs
 }
 
 type appCoresKey struct {
@@ -110,9 +110,10 @@ func (s *Suite) config(cores int) core.Config {
 // Serial returns serial cycles for an app on an nCores-sized machine,
 // computed at most once per (app, cores) across all concurrent workers.
 func (s *Suite) Serial(b bench.Benchmark, nCores int) (uint64, error) {
-	return s.serialCycles.do(appCoresKey{b.Name(), nCores}, func() (uint64, error) {
+	cyc, _, err := s.serialCycles.Do(appCoresKey{b.Name(), nCores}, func() (uint64, error) {
 		return b.RunSerial(nCores)
 	})
+	return cyc, err
 }
 
 // defaultRun returns the Swarm run of b under the unmodified default
@@ -120,15 +121,16 @@ func (s *Suite) Serial(b bench.Benchmark, nCores int) (uint64, error) {
 // series, Table 5's baseline variant and every sweep's reference point
 // all share these runs.
 func (s *Suite) defaultRun(b bench.Benchmark, nCores int) (core.Stats, error) {
-	return s.defaultRuns.do(appCoresKey{b.Name(), nCores}, func() (core.Stats, error) {
+	st, _, err := s.defaultRuns.Do(appCoresKey{b.Name(), nCores}, func() (core.Stats, error) {
 		return b.RunSwarm(s.config(nCores))
 	})
+	return st, err
 }
 
 // silo returns the Fig 13 benchmark instance for a warehouse count,
 // built at most once.
 func (s *Suite) silo(warehouses, txns int) *bench.Silo {
-	b, _ := s.silos.do(siloKey{warehouses, txns}, func() (*bench.Silo, error) {
+	b, _, _ := s.silos.Do(siloKey{warehouses, txns}, func() (*bench.Silo, error) {
 		return bench.NewSilo(warehouses, txns, 7), nil
 	})
 	return b

@@ -109,12 +109,12 @@ func TestPoolWorkersDefault(t *testing.T) {
 // TestMemoSingleFlight checks the deduplicating cache: concurrent callers
 // for one key share a single computation.
 func TestMemoSingleFlight(t *testing.T) {
-	var c memo[int, int]
+	var c Memo[int, int]
 	var computed atomic.Int64
 	p := NewPool(8)
 	out := make([]int, 64)
 	err := p.Run(len(out), nil, func(i int) error {
-		v, err := c.do(i%4, func() (int, error) {
+		v, _, err := c.Do(i%4, func() (int, error) {
 			computed.Add(1)
 			return (i % 4) * 10, nil
 		})
@@ -132,7 +132,7 @@ func TestMemoSingleFlight(t *testing.T) {
 			t.Fatalf("out[%d] = %d", i, v)
 		}
 	}
-	if _, err := c.do(100, func() (int, error) { return 0, errors.New("boom") }); err == nil {
+	if _, _, err := c.Do(100, func() (int, error) { return 0, errors.New("boom") }); err == nil {
 		t.Fatal("error not propagated")
 	}
 }

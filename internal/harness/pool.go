@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -140,33 +142,159 @@ func (p *Pool) report(done, total int, label string, start time.Time) {
 	p.progress(done, total, label, eta)
 }
 
-// memo is a deduplicating, concurrency-safe cache: the first caller for a
+// Memo is a deduplicating, concurrency-safe cache: the first caller for a
 // key computes the value while later callers for the same key block on it
 // and share the result, so two workers never redundantly simulate the
-// same sweep point.
-type memo[K comparable, V any] struct {
+// same sweep point and a daemon never runs identical submissions twice.
+//
+// Errors are not cached. A failed computation is handed to every caller
+// that joined it in flight (singleflight semantics), but the entry is
+// evicted before those callers wake, so the next Do for the key
+// recomputes. Caching the error instead would poison the key forever —
+// tolerable in a one-shot sweep that aborts anyway, fatal in a
+// long-running service where one transient failure would be replayed to
+// every future client of that configuration.
+type Memo[K comparable, V any] struct {
 	mu sync.Mutex
 	m  map[K]*memoEntry[V]
 }
 
 type memoEntry[V any] struct {
-	once sync.Once
+	done chan struct{} // closed once val/err are set
 	val  V
 	err  error
 }
 
-// do returns the cached value for key, computing it with fn exactly once.
-func (c *memo[K, V]) do(key K, fn func() (V, error)) (V, error) {
+// Do returns the value for key, computing it with fn at most once per
+// non-erroring attempt. hit reports whether this caller shared another
+// caller's computation (cached or joined in flight) instead of running fn.
+func (c *Memo[K, V]) Do(key K, fn func() (V, error)) (val V, hit bool, err error) {
 	c.mu.Lock()
 	if c.m == nil {
 		c.m = make(map[K]*memoEntry[V])
 	}
-	e, ok := c.m[key]
-	if !ok {
-		e = new(memoEntry[V])
-		c.m[key] = e
+	if e, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		<-e.done
+		return e.val, true, e.err
 	}
+	e := &memoEntry[V]{done: make(chan struct{})}
+	c.m[key] = e
 	c.mu.Unlock()
-	e.once.Do(func() { e.val, e.err = fn() })
-	return e.val, e.err
+
+	e.val, e.err = fn()
+	if e.err != nil {
+		c.mu.Lock()
+		// Evict before waking waiters so no later Do can observe the
+		// failed entry; guard against the (impossible today) case of the
+		// slot having been replaced.
+		if c.m[key] == e {
+			delete(c.m, key)
+		}
+		c.mu.Unlock()
+	}
+	close(e.done)
+	return e.val, false, e.err
+}
+
+// Runner errors.
+var (
+	// ErrQueueFull is returned by Submit when the pending-job queue is at
+	// capacity; callers should shed load (a daemon answers 503).
+	ErrQueueFull = errors.New("harness: job queue full")
+	// ErrDraining is returned by Submit after Drain has begun.
+	ErrDraining = errors.New("harness: runner is draining")
+)
+
+// Runner is the pool's long-lived service mode: where Run executes one
+// fixed batch, a Runner accepts jobs indefinitely — the execution engine
+// of a simulation daemon. Jobs queue in a bounded channel (admission
+// control happens at Submit, not by blocking HTTP handlers) and run on
+// the pool's worker count. Shutdown is graceful by construction: Drain
+// stops admission and waits until every accepted job — queued or in
+// flight — has finished.
+type Runner struct {
+	jobs     chan runnerJob
+	wg       sync.WaitGroup
+	inFlight atomic.Int64
+
+	mu       sync.Mutex
+	draining bool
+}
+
+type runnerJob struct {
+	ctx context.Context
+	fn  func(context.Context)
+}
+
+// Serve starts p.Workers() worker goroutines consuming a queue of at most
+// queueDepth pending jobs and returns the Runner accepting them.
+func (p *Pool) Serve(queueDepth int) *Runner {
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	r := &Runner{jobs: make(chan runnerJob, queueDepth)}
+	workers := p.workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	for w := 0; w < workers; w++ {
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			for j := range r.jobs {
+				r.inFlight.Add(1)
+				j.fn(j.ctx)
+				r.inFlight.Add(-1)
+			}
+		}()
+	}
+	return r
+}
+
+// Submit enqueues fn for execution. fn receives ctx and is responsible
+// for honoring its cancellation (a cancelled-before-start job should
+// check ctx and bail). Submit never blocks: it fails fast with
+// ErrQueueFull or ErrDraining so callers control their own backpressure.
+func (r *Runner) Submit(ctx context.Context, fn func(context.Context)) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.draining {
+		return ErrDraining
+	}
+	select {
+	case r.jobs <- runnerJob{ctx: ctx, fn: fn}:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// QueueDepth returns the number of accepted jobs not yet started.
+func (r *Runner) QueueDepth() int { return len(r.jobs) }
+
+// InFlight returns the number of jobs currently executing.
+func (r *Runner) InFlight() int { return int(r.inFlight.Load()) }
+
+// Drain stops admission and waits for every accepted job to finish, or
+// for ctx to expire (in-flight simulations keep their goroutines in that
+// case; the process is expected to exit). Drain is idempotent.
+func (r *Runner) Drain(ctx context.Context) error {
+	r.mu.Lock()
+	if !r.draining {
+		r.draining = true
+		close(r.jobs)
+	}
+	r.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }

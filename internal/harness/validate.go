@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/swarm-sim/swarm/internal/bench"
+	"github.com/swarm-sim/swarm/internal/core"
+)
+
+// Up-front flag/request validation, shared by the CLIs and the swarmd
+// daemon. Before these helpers, an invalid -app/-mapper/-scale surfaced
+// only once a run reached the code that consumed it — after input
+// generation, sometimes mid-sweep — as a context-free error. Validating
+// against the registries first fails in milliseconds and always names the
+// valid options.
+
+// ResolveApps validates an -app value — a registered name, a comma list
+// of names, or "all" — against the bench registry and returns the
+// resolved app names in request order ("all" expands to suite order).
+func ResolveApps(flagVal string) ([]string, error) {
+	valid := strings.Join(bench.AppNames(), ", ")
+	if strings.TrimSpace(flagVal) == "all" {
+		return bench.AppNames(), nil
+	}
+	var names []string
+	for _, name := range strings.Split(flagVal, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := bench.Lookup(name); !ok {
+			return nil, fmt.Errorf("unknown app %q (valid: %s; a comma list; or all)", name, valid)
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no app named (valid: %s; a comma list; or all)", valid)
+	}
+	return names, nil
+}
+
+// ValidateMapper checks a task-mapping policy name against the registered
+// policies ("" selects the default and is valid).
+func ValidateMapper(name string) error {
+	if name == "" {
+		return nil
+	}
+	for _, m := range core.MapperNames() {
+		if m == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown mapper %q (valid: %s)", name, strings.Join(core.MapperNames(), ", "))
+}
+
+// ValidateScale checks a scale name, returning the parsed Scale. It is
+// ParseScale under the name the other validators use.
+func ValidateScale(name string) (Scale, error) { return ParseScale(name) }
+
+// ValidateCores checks that a core count builds a legal machine: the CMP
+// is tiled 4 cores per tile (machines under 4 cores are one smaller
+// tile), so the count must be 1-4 or a multiple of 4. Without this check
+// the config layer panics during machine construction.
+func ValidateCores(n int) error {
+	if n >= 1 && (n <= 4 || n%4 == 0) {
+		return nil
+	}
+	return fmt.Errorf("invalid core count %d (valid: 1, 2, 3, 4, or any multiple of 4)", n)
+}
+
+// ValidateSimWorkers checks a tile-parallel shard count (0 and 1 both
+// select the single-threaded simulator).
+func ValidateSimWorkers(n int) error {
+	if n < 0 {
+		return fmt.Errorf("invalid simworkers %d (valid: 0 or more; 0 and 1 run single-threaded)", n)
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateFlags is the table-driven sweep over the three user-facing
+// selector flags (-app, -mapper, -scale) plus the numeric knobs: invalid
+// values must fail up front with the valid options in the message.
+func TestValidateFlags(t *testing.T) {
+	tests := []struct {
+		flag    string
+		value   string
+		wantErr bool
+		wantIn  []string // substrings the error (or success) must satisfy
+	}{
+		// -app
+		{"app", "sssp", false, nil},
+		{"app", "all", false, nil},
+		{"app", "bfs,sssp, silo", false, nil},
+		{"app", "ssp", true, []string{`unknown app "ssp"`, "sssp", "bfs", "silo"}},
+		{"app", "", true, []string{"no app named", "sssp"}},
+		{"app", ",,", true, []string{"no app named"}},
+		{"app", "bfs,nope", true, []string{`unknown app "nope"`, "valid:"}},
+
+		// -mapper
+		{"mapper", "random", false, nil},
+		{"mapper", "hint", false, nil},
+		{"mapper", "stealing", false, nil},
+		{"mapper", "roundrobin", false, nil},
+		{"mapper", "", false, nil}, // default
+		{"mapper", "rnd", true, []string{`unknown mapper "rnd"`, "random", "hint", "stealing", "roundrobin"}},
+
+		// -scale
+		{"scale", "tiny", false, nil},
+		{"scale", "small", false, nil},
+		{"scale", "medium", false, nil},
+		{"scale", "large", true, []string{`unknown scale "large"`, "tiny", "small", "medium"}},
+	}
+	for _, tc := range tests {
+		var err error
+		switch tc.flag {
+		case "app":
+			_, err = ResolveApps(tc.value)
+		case "mapper":
+			err = ValidateMapper(tc.value)
+		case "scale":
+			_, err = ValidateScale(tc.value)
+		}
+		if (err != nil) != tc.wantErr {
+			t.Errorf("-%s=%q: err = %v, wantErr = %v", tc.flag, tc.value, err, tc.wantErr)
+			continue
+		}
+		for _, want := range tc.wantIn {
+			if err == nil || !strings.Contains(err.Error(), want) {
+				t.Errorf("-%s=%q: error %q does not mention %q", tc.flag, tc.value, err, want)
+			}
+		}
+	}
+}
+
+func TestResolveAppsOrder(t *testing.T) {
+	names, err := ResolveApps("silo, bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "silo" || names[1] != "bfs" {
+		t.Fatalf("ResolveApps preserved order wrongly: %v", names)
+	}
+}
+
+func TestValidateCores(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8, 16, 64} {
+		if err := ValidateCores(n); err != nil {
+			t.Errorf("ValidateCores(%d): %v", n, err)
+		}
+	}
+	for _, n := range []int{0, -1, 5, 6, 7, 9, 63} {
+		err := ValidateCores(n)
+		if err == nil {
+			t.Errorf("ValidateCores(%d): want error", n)
+		} else if !strings.Contains(err.Error(), "multiple of 4") {
+			t.Errorf("ValidateCores(%d): error %q does not name the valid counts", n, err)
+		}
+	}
+}
+
+func TestValidateSimWorkers(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 8} {
+		if err := ValidateSimWorkers(n); err != nil {
+			t.Errorf("ValidateSimWorkers(%d): %v", n, err)
+		}
+	}
+	if err := ValidateSimWorkers(-1); err == nil {
+		t.Error("ValidateSimWorkers(-1): want error")
+	}
+}

@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Load generator: the repo's first genuinely concurrent, many-clients
+// scenario. Each client loops submit → poll-to-completion against a
+// running daemon, measuring per-job latency (submit to done) and
+// aggregate throughput. It lives in the package so the same harness runs
+// in-process against httptest servers (race-checked in CI) and from
+// cmd/swarmload against a real daemon.
+
+// LoadConfig parameterizes a load run.
+type LoadConfig struct {
+	// BaseURL is the daemon's API root, e.g. "http://localhost:8080".
+	BaseURL string
+	// Clients is the number of concurrent submitters.
+	Clients int
+	// Jobs is the total number of jobs across all clients.
+	Jobs int
+	// Specs is the job mix, assigned round-robin. Give each spec a
+	// distinct seed to defeat the result cache when measuring simulation
+	// throughput; identical specs measure cache throughput instead.
+	Specs []JobSpec
+	// Poll is the status-poll interval (default 5ms).
+	Poll time.Duration
+	// Client is the HTTP client (default http.DefaultClient).
+	Client *http.Client
+}
+
+// LoadReport aggregates a load run.
+type LoadReport struct {
+	Jobs       int           // jobs completed (including failed)
+	Failed     int           // jobs that finished in state failed
+	Rejected   int           // 503 submit rejections retried (backpressure events)
+	CacheHits  int           // completed jobs served from the result cache
+	Wall       time.Duration // first submit to last completion
+	Throughput float64       // completed jobs per second
+	P50        time.Duration // submit-to-done latency percentiles
+	P90        time.Duration
+	P99        time.Duration
+	Max        time.Duration
+}
+
+// String renders the report as the table recorded in EXPERIMENTS.md.
+func (r LoadReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "jobs %d (failed %d, cache hits %d, 503 backoffs %d) in %.2fs — %.1f jobs/s\n",
+		r.Jobs, r.Failed, r.CacheHits, r.Rejected, r.Wall.Seconds(), r.Throughput)
+	fmt.Fprintf(&b, "latency p50 %s  p90 %s  p99 %s  max %s",
+		r.P50.Round(time.Millisecond), r.P90.Round(time.Millisecond),
+		r.P99.Round(time.Millisecond), r.Max.Round(time.Millisecond))
+	return b.String()
+}
+
+// RunLoad drives the load: Clients goroutines pull job indices from a
+// shared counter, submit, and poll until completion. A 503 (full queue)
+// backs off and retries — backpressure is part of the measured system.
+func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
+	if cfg.Clients <= 0 || cfg.Jobs <= 0 || len(cfg.Specs) == 0 {
+		return LoadReport{}, fmt.Errorf("loadgen: need Clients, Jobs and at least one Spec")
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 5 * time.Millisecond
+	}
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+
+	var (
+		next      atomic.Int64
+		rejected  atomic.Int64
+		failed    atomic.Int64
+		cacheHits atomic.Int64
+		mu        sync.Mutex
+		latencies []time.Duration
+		firstErr  error
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Jobs || ctx.Err() != nil {
+					return
+				}
+				lat, hit, jobFailed, err := runOne(ctx, client, cfg, cfg.Specs[i%len(cfg.Specs)], &rejected)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				latencies = append(latencies, lat)
+				mu.Unlock()
+				if hit {
+					cacheHits.Add(1)
+				}
+				if jobFailed {
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return LoadReport{}, firstErr
+	}
+	wall := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	rep := LoadReport{
+		Jobs:      len(latencies),
+		Failed:    int(failed.Load()),
+		Rejected:  int(rejected.Load()),
+		CacheHits: int(cacheHits.Load()),
+		Wall:      wall,
+		P50:       pct(0.50),
+		P90:       pct(0.90),
+		P99:       pct(0.99),
+		Max:       pct(1.0),
+	}
+	if wall > 0 {
+		rep.Throughput = float64(rep.Jobs) / wall.Seconds()
+	}
+	return rep, nil
+}
+
+// runOne submits one job and polls it to completion, returning the
+// submit-to-done latency, whether the result came from the cache, and
+// whether the job failed.
+func runOne(ctx context.Context, client *http.Client, cfg LoadConfig, spec JobSpec, rejected *atomic.Int64) (time.Duration, bool, bool, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return 0, false, false, err
+	}
+	start := time.Now()
+	var id string
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/jobs", bytes.NewReader(body))
+		if err != nil {
+			return 0, false, false, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, false, false, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return 0, false, false, err
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			// Bounded queue: back off and resubmit.
+			rejected.Add(1)
+			select {
+			case <-ctx.Done():
+				return 0, false, false, ctx.Err()
+			case <-time.After(cfg.Poll):
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return 0, false, false, fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(data)))
+		}
+		var j jobJSON
+		if err := json.Unmarshal(data, &j); err != nil {
+			return 0, false, false, fmt.Errorf("submit response: %w", err)
+		}
+		id = j.ID
+		break
+	}
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.BaseURL+"/jobs/"+id, nil)
+		if err != nil {
+			return 0, false, false, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, false, false, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return 0, false, false, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, false, false, fmt.Errorf("poll %s: %s: %s", id, resp.Status, strings.TrimSpace(string(data)))
+		}
+		var j jobJSON
+		if err := json.Unmarshal(data, &j); err != nil {
+			return 0, false, false, fmt.Errorf("poll response: %w", err)
+		}
+		switch j.State {
+		case JobDone:
+			return time.Since(start), j.CacheHit, false, nil
+		case JobFailed:
+			return time.Since(start), j.CacheHit, true, nil
+		}
+		select {
+		case <-ctx.Done():
+			return 0, false, false, ctx.Err()
+		case <-time.After(cfg.Poll):
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunLoad drives the load generator against an in-process daemon:
+// every job completes, duplicate specs register as cache hits, and the
+// report's accounting is internally consistent. This is the same harness
+// cmd/swarmload ships, so CI race-checks it here.
+func TestRunLoad(t *testing.T) {
+	d := newTestDaemon(t, Config{Workers: 2, QueueDepth: 4})
+
+	// 4 distinct specs cycled over 12 jobs: 4 misses + 8 hits.
+	specs := make([]JobSpec, 4)
+	for i := range specs {
+		specs[i] = JobSpec{App: "bfs", Scale: "tiny", Cores: 4, Seed: int64(i + 1)}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	rep, err := RunLoad(ctx, LoadConfig{
+		BaseURL: d.api.URL,
+		Clients: 3,
+		Jobs:    12,
+		Specs:   specs,
+		Poll:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs != 12 || rep.Failed != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.CacheHits != 8 {
+		t.Fatalf("cache hits = %d, want 8 (4 distinct specs over 12 jobs)", rep.CacheHits)
+	}
+	if rep.Throughput <= 0 || rep.Wall <= 0 {
+		t.Fatalf("no throughput measured: %+v", rep)
+	}
+	if rep.P50 > rep.P90 || rep.P90 > rep.P99 || rep.P99 > rep.Max {
+		t.Fatalf("latency percentiles out of order: %+v", rep)
+	}
+	out := rep.String()
+	if !strings.Contains(out, "jobs 12") || !strings.Contains(out, "p50") {
+		t.Fatalf("report rendering: %q", out)
+	}
+
+	vars := d.adminVars(t)
+	if vars["jobs_completed"] != 12 {
+		t.Fatalf("daemon saw %d completions", vars["jobs_completed"])
+	}
+}
+
+// TestRunLoadValidation: nonsense configs fail fast instead of hanging.
+func TestRunLoadValidation(t *testing.T) {
+	if _, err := RunLoad(context.Background(), LoadConfig{}); err == nil {
+		t.Fatal("empty config: want an error")
+	}
+}
+
+// TestRunLoadSubmitError: a load run against a server that rejects the
+// spec reports the failure instead of spinning.
+func TestRunLoadSubmitError(t *testing.T) {
+	d := newTestDaemon(t, Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err := RunLoad(ctx, LoadConfig{
+		BaseURL: d.api.URL,
+		Clients: 1,
+		Jobs:    1,
+		Specs:   []JobSpec{{App: "no-such-app"}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "submit") {
+		t.Fatalf("want submit error, got %v", err)
+	}
+}
+
+// TestRunLoadUnreachable: a dead endpoint errors out promptly.
+func TestRunLoadUnreachable(t *testing.T) {
+	srv := httptest.NewServer(nil)
+	srv.Close() // now guaranteed-refused
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err := RunLoad(ctx, LoadConfig{
+		BaseURL: srv.URL,
+		Clients: 2,
+		Jobs:    4,
+		Specs:   []JobSpec{{App: "bfs", Scale: "tiny", Cores: 4}},
+	})
+	if err == nil {
+		t.Fatal("unreachable daemon: want an error")
+	}
+}

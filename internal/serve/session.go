@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/swarm-sim/swarm/internal/bench"
+	"github.com/swarm-sim/swarm/internal/core"
+)
+
+// sessionPool holds the daemon's live phased sessions: warm simulated
+// machines parked at quiescent points between client requests. A session
+// is the service form of incremental resubmission — open once (builds the
+// machine and inputs), then step phase by phase against resident state,
+// paying neither machine construction nor the already-committed history
+// again. The pool is bounded: each live session pins a machine's guest
+// memory and queues.
+type sessionPool struct {
+	mu       sync.Mutex
+	max      int
+	seq      int
+	sessions map[string]*liveSession
+	benches  *benchCache
+	open     *expvar.Int // mirrors len(sessions) for /debug/vars
+}
+
+// liveSession wraps a bench.Session with the per-session lock that
+// serializes steps: machines are single-client, HTTP is not.
+type liveSession struct {
+	id   string
+	spec JobSpec
+
+	mu      sync.Mutex
+	sess    *bench.Session
+	created time.Time
+	stepped time.Time
+}
+
+func newSessionPool(max int, benches *benchCache, open *expvar.Int) *sessionPool {
+	return &sessionPool{max: max, sessions: make(map[string]*liveSession), benches: benches, open: open}
+}
+
+var errSessionPoolFull = fmt.Errorf("session pool full")
+
+// openSession constructs a live session for a validated spec.
+func (p *sessionPool) openSession(spec JobSpec) (*liveSession, error) {
+	b, err := p.benches.get(spec.App, spec.scale())
+	if err != nil {
+		return nil, err
+	}
+	sb, ok := b.(bench.Sessioned)
+	if !ok {
+		return nil, fmt.Errorf("app %q does not support live sessions (phased apps: %s)",
+			spec.App, strings.Join(phasedAppNames(), ", "))
+	}
+	p.mu.Lock()
+	if len(p.sessions) >= p.max {
+		p.mu.Unlock()
+		return nil, errSessionPoolFull
+	}
+	p.seq++
+	id := fmt.Sprintf("s%06d", p.seq)
+	// Reserve the slot before the (slow) machine build so concurrent
+	// opens cannot overshoot the cap; fill it in below.
+	ls := &liveSession{id: id, spec: spec, created: time.Now()}
+	p.sessions[id] = ls
+	p.open.Set(int64(len(p.sessions)))
+	p.mu.Unlock()
+
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	sess, err := sb.OpenSession(spec.machineConfig())
+	if err != nil {
+		p.close(id)
+		return nil, err
+	}
+	ls.sess = sess
+	return ls, nil
+}
+
+// get returns a live session by id.
+func (p *sessionPool) get(id string) (*liveSession, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ls, ok := p.sessions[id]
+	return ls, ok
+}
+
+// close removes a session; the machine is garbage once unreferenced.
+func (p *sessionPool) close(id string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.sessions[id]
+	if ok {
+		delete(p.sessions, id)
+		p.open.Set(int64(len(p.sessions)))
+	}
+	return ok
+}
+
+// sessionJSON is the wire form of a live session.
+type sessionJSON struct {
+	ID          string            `json:"id"`
+	Spec        JobSpec           `json:"spec"`
+	PhasesTotal int               `json:"phases_total"`
+	PhasesDone  int               `json:"phases_done"`
+	Phases      []core.PhaseStats `json:"phases,omitempty"`
+}
+
+func (ls *liveSession) json(withPhases bool) sessionJSON {
+	out := sessionJSON{
+		ID:          ls.id,
+		Spec:        ls.spec,
+		PhasesTotal: ls.sess.PhaseCount(),
+		PhasesDone:  ls.sess.Done(),
+	}
+	if withPhases {
+		out.Phases = ls.sess.Phases()
+	}
+	return out
+}
+
+// ------------------------------------------------------ session handlers --
+
+// handleOpenSession opens a live phased session: the machine is built and
+// parked before phase 1; no cycle simulates until the first step. 503
+// when the pool is at capacity.
+func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed session spec: %v", err)
+		return
+	}
+	spec = spec.withDefaults()
+	spec.Phases = true // sessions are phased by construction
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid session spec: %v", err)
+		return
+	}
+	ls, err := s.sessions.openSession(spec)
+	if err == errSessionPoolFull {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "session pool full (%d live sessions); close one or retry later", s.cfg.MaxSessions)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "open session: %v", err)
+		return
+	}
+	ls.mu.Lock()
+	out := ls.json(false)
+	ls.mu.Unlock()
+	w.Header().Set("Location", "/sessions/"+ls.id)
+	writeJSON(w, http.StatusCreated, out)
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	ls, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+		return
+	}
+	ls.mu.Lock()
+	out := ls.json(true)
+	ls.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleStepSession advances a session one phase — the resubmission hit:
+// the machine is already warm, only the new phase simulates. Steps on one
+// session serialize; stepping past the last phase is 409.
+func (s *Server) handleStepSession(w http.ResponseWriter, r *http.Request) {
+	ls, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+		return
+	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if ls.sess.Remaining() == 0 {
+		writeError(w, http.StatusConflict, "session %s: all %d phases have run", ls.id, ls.sess.PhaseCount())
+		return
+	}
+	ph, err := ls.sess.Step()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "step: %v", err)
+		return
+	}
+	ls.stepped = time.Now()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":           ls.id,
+		"phase":        ph,
+		"phases_done":  ls.sess.Done(),
+		"phases_total": ls.sess.PhaseCount(),
+	})
+}
+
+func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.sessions.close(id) {
+		writeError(w, http.StatusNotFound, "no session %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": id, "state": "closed"})
+}
