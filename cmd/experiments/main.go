@@ -34,6 +34,9 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset: table1,table2,table4,table5,fig11-fig18,gvt,canary,mappers,phases")
 	mapper := flag.String("mapper", "",
 		"task-mapping policy for every Swarm run ("+strings.Join(core.MapperNames(), ", ")+"); default random")
+	backendF := flag.String("backend", "",
+		"execution backend for every Swarm run ("+strings.Join(core.BackendNames(), ", ")+"); default sim. "+
+			"Native rt backends report zero cycles, so cycle-based figures degenerate")
 	csvDir := flag.String("csv", "", "also write plot-ready CSV files to this directory")
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent simulations on the host (1 = sequential; results are identical)")
 	simWorkers := flag.Int("simworkers", 1,
@@ -54,6 +57,9 @@ func main() {
 	if err := harness.ValidateCores(*maxCores); err != nil {
 		log.Fatal(err)
 	}
+	if err := harness.ValidateBackend(*backendF); err != nil {
+		log.Fatal(err)
+	}
 	if err := harness.ValidateSimWorkers(*simWorkers); err != nil {
 		log.Fatal(err)
 	}
@@ -70,6 +76,7 @@ func main() {
 	s := harness.NewSuite(scale)
 	s.SetWorkers(*workers)
 	s.SetMapper(*mapper)
+	s.SetBackend(*backendF)
 	s.SetSimWorkers(*simWorkers)
 	if !*quiet {
 		s.SetProgress(func(done, total int, label string, eta time.Duration) {

@@ -33,6 +33,9 @@ func main() {
 	appsFlag := flag.String("apps", "all", "comma-separated app names, or all")
 	mapperFlag := flag.String("mapper", "random",
 		"task-mapping policy: "+strings.Join(core.MapperNames(), ", "))
+	backendFlag := flag.String("backend", "sim",
+		"execution backend: "+strings.Join(core.BackendNames(), ", ")+
+			"; native rt digests cover only the deterministic counters")
 	simWorkersFlag := flag.Int("simworkers", 1,
 		"shard each simulated machine across N goroutines; digests must stay byte-identical to -simworkers 1 (lines are tagged when N > 1)")
 	flag.Parse()
@@ -40,6 +43,9 @@ func main() {
 	scale, err := bench.ParseScale(*scaleFlag)
 	if err != nil {
 		fatal(err)
+	}
+	if !core.ValidBackend(*backendFlag) {
+		fatal(fmt.Errorf("unknown backend %q (valid: %s)", *backendFlag, strings.Join(core.BackendNames(), ", ")))
 	}
 	var cores []int
 	for _, f := range strings.Split(*coresFlag, ",") {
@@ -62,6 +68,7 @@ func main() {
 		for _, nc := range cores {
 			cfg := core.DefaultConfig(nc)
 			cfg.Mapper = *mapperFlag
+			cfg.Backend = *backendFlag
 			cfg.SimWorkers = *simWorkersFlag
 			lines, err := cellLines(b, nc, cfg)
 			if err != nil {
@@ -95,6 +102,9 @@ func tagSimWorkers(lines []string, simWorkers int) []string {
 // line first, then the cumulative digest of the whole session — a change
 // that shifts work between phases while preserving totals still diffs.
 func cellLines(b bench.Benchmark, nc int, cfg core.Config) ([]string, error) {
+	if cfg.Backend != "" && cfg.Backend != "sim" {
+		return nativeCellLines(b, nc, cfg)
+	}
 	if pb, ok := b.(bench.Phased); ok {
 		phases, err := pb.RunSwarmPhases(cfg)
 		if err != nil {
@@ -111,6 +121,37 @@ func cellLines(b bench.Benchmark, nc int, cfg core.Config) ([]string, error) {
 		return nil, err
 	}
 	return []string{digest(b.Name(), nc, st)}, nil
+}
+
+// nativeCellLines fingerprints one (app, cores) cell run on a native rt
+// backend. The rt engines guarantee a deterministic committed schedule —
+// commit and enqueue totals are fixed — but aborts, dequeues and retries
+// depend on host scheduling, so only the deterministic counters go into
+// the digest.
+func nativeCellLines(b bench.Benchmark, nc int, cfg core.Config) ([]string, error) {
+	if pb, ok := b.(bench.Phased); ok {
+		phases, err := pb.RunSwarmPhases(cfg)
+		if err != nil {
+			return nil, err
+		}
+		var lines []string
+		for _, ph := range phases {
+			lines = append(lines, fmt.Sprintf("%s cores=%d backend=%s phase=%d/%d commits=%d enq=%d",
+				b.Name(), nc, cfg.Backend, ph.Phase, len(phases), ph.Commits, ph.Enqueues))
+		}
+		return append(lines, nativeDigest(b.Name(), nc, phases[len(phases)-1].Cumulative)), nil
+	}
+	st, err := b.RunSwarm(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []string{nativeDigest(b.Name(), nc, st)}, nil
+}
+
+// nativeDigest is the rt-backend counterpart of digest.
+func nativeDigest(app string, cores int, st core.Stats) string {
+	return fmt.Sprintf("%s cores=%d backend=%s commits=%d enq=%d",
+		app, cores, st.Backend, st.Commits, st.Enqueues)
 }
 
 // phaseDigest renders one phase's deterministic counters on one line.

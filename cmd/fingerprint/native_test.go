@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/swarm-sim/swarm/internal/bench"
+	"github.com/swarm-sim/swarm/internal/core"
+)
+
+// TestNativeCellsDeterministic exercises the rt-backend digest path:
+// native cells carry only the counters the runtimes fix (commits and
+// enqueues — aborts, dequeues and wall-clock depend on host
+// scheduling), so recomputing a cell must reproduce it byte for byte.
+// One single-phase app and one phased app cover both digest shapes.
+func TestNativeCellsDeterministic(t *testing.T) {
+	cases := []struct {
+		app    string
+		phased bool
+	}{
+		{"bfs", false},
+		{"incsssp", true},
+	}
+	for _, tc := range cases {
+		b, err := bench.New(tc.app, bench.ScaleTiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.DefaultConfig(4)
+		cfg.Backend = "rt"
+		first, err := cellLines(b, 4, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.app, err)
+		}
+		again, err := cellLines(b, 4, cfg)
+		if err != nil {
+			t.Fatalf("%s rerun: %v", tc.app, err)
+		}
+		if strings.Join(first, "\n") != strings.Join(again, "\n") {
+			t.Errorf("%s: native digest not reproducible:\n%v\nvs\n%v", tc.app, first, again)
+		}
+		if tc.phased && len(first) < 2 {
+			t.Fatalf("%s: %d digest lines, want per-phase lines plus the cumulative", tc.app, len(first))
+		}
+		for i, l := range first {
+			if !strings.Contains(l, "backend=rt") || !strings.Contains(l, "commits=") {
+				t.Errorf("%s line %d: malformed native digest %q", tc.app, i, l)
+			}
+			wantPhase := tc.phased && i < len(first)-1
+			if got := strings.Contains(l, "phase="); got != wantPhase {
+				t.Errorf("%s line %d: phase tag presence = %v, want %v (%q)", tc.app, i, got, wantPhase, l)
+			}
+		}
+	}
+}

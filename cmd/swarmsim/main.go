@@ -40,6 +40,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "enqueue-placement seed (random mapper only)")
 	mapper := flag.String("mapper", "random",
 		"task-mapping policy: "+strings.Join(core.MapperNames(), ", "))
+	backendF := flag.String("backend", "sim",
+		"execution backend: "+strings.Join(core.BackendNames(), ", ")+
+			" (native rt backends report wall-clock, not cycles)")
 	phases := flag.Bool("phases", false,
 		"print per-phase statistics for session (multi-phase) benchmarks")
 	csvOut := flag.Bool("csv", false,
@@ -64,6 +67,9 @@ func main() {
 		log.Fatal(err)
 	}
 	if err := harness.ValidateCores(*cores); err != nil {
+		log.Fatal(err)
+	}
+	if err := harness.ValidateBackend(*backendF); err != nil {
 		log.Fatal(err)
 	}
 	if err := harness.ValidateSimWorkers(*simWorkers); err != nil {
@@ -106,6 +112,7 @@ func main() {
 			cfg := core.DefaultConfig(*cores)
 			cfg.Seed = *seed
 			cfg.Mapper = *mapper
+			cfg.Backend = *backendF
 			cfg.SimWorkers = *simWorkers
 			if *cq > 0 {
 				cfg.CommitQPerCore = *cq
@@ -191,6 +198,10 @@ func printPhases(w io.Writer, app string, phs []core.PhaseStats) {
 }
 
 func printStats(w io.Writer, app string, st core.Stats) {
+	if st.Backend != "" && st.Backend != "sim" {
+		printNativeStats(w, app, st)
+		return
+	}
 	fmt.Fprintf(w, "%s on %d-core Swarm (verified)\n", app, st.Cores)
 	fmt.Fprintf(w, "  cycles            %12d\n", st.Cycles)
 	fmt.Fprintf(w, "  commits           %12d\n", st.Commits)
@@ -213,6 +224,21 @@ func printStats(w io.Writer, app string, st core.Stats) {
 	fmt.Fprintf(w, "  cache: %d loads, %d stores, %.1f%% L1 hits, %d mem accesses\n",
 		st.Cache.Loads, st.Cache.Stores,
 		100*float64(st.Cache.L1Hits)/float64(max64(st.Cache.Loads, 1)), st.Cache.MemAccesses)
+}
+
+// printNativeStats reports a native-runtime (-backend rt*) run: the
+// engine executes guest tasks on host goroutines, so the meaningful
+// numbers are wall-clock and speculation counters, not cycles.
+func printNativeStats(w io.Writer, app string, st core.Stats) {
+	fmt.Fprintf(w, "%s on %d-worker %s runtime (verified)\n", app, st.Cores, st.Backend)
+	fmt.Fprintf(w, "  wall time         %12.3f ms\n", float64(st.WallNS)/1e6)
+	fmt.Fprintf(w, "  commits           %12d\n", st.Commits)
+	fmt.Fprintf(w, "  aborts            %12d (retries %d)\n", st.Aborts, st.Retries)
+	fmt.Fprintf(w, "  enqueues          %12d (dequeues %d)\n", st.Enqueues, st.Dequeues)
+	if st.WallNS > 0 {
+		fmt.Fprintf(w, "  throughput        %12.0f committed tasks/s\n",
+			float64(st.Commits)/(float64(st.WallNS)/1e9))
+	}
 }
 
 func max64(a, b uint64) uint64 {

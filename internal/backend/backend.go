@@ -1,0 +1,116 @@
+// Package backend is the seam between Swarm's public API and its
+// execution engines. A Backend is a started, program-loaded machine
+// parked at a quiescent point; everything above this package — the
+// swarm.Sim session surface, the benchmark suite, the harness, the
+// daemon — drives that surface only, so the cycle-level simulator
+// (internal/core) and the native speculative runtime (internal/rt) are
+// interchangeable per run via Config.Backend.
+package backend
+
+import (
+	"errors"
+
+	"github.com/swarm-sim/swarm/internal/core"
+	"github.com/swarm-sim/swarm/internal/guest"
+	"github.com/swarm-sim/swarm/internal/mem"
+	"github.com/swarm-sim/swarm/internal/rt"
+)
+
+// Backend is one execution engine running one guest program: phased
+// execution to quiescence, root injection and setup-cost memory access
+// between phases, and cumulative statistics. *core.Machine satisfies it
+// natively; rt.Runtime mirrors the surface.
+type Backend interface {
+	// Mem exposes guest memory at quiescent points (setup, between
+	// phases, result extraction).
+	Mem() *mem.Memory
+	// SetupAlloc and SetupFree are the zero-cost setup-time allocator.
+	SetupAlloc(nBytes uint64) uint64
+	SetupFree(addr, nBytes uint64)
+	// EnqueueRootDesc injects a parentless task for the next phase.
+	EnqueueRootDesc(d guest.TaskDesc)
+	// QueuedTasks returns the number of injected-but-unrun root tasks.
+	QueuedTasks() int
+	// Start makes the backend live. New returns started backends, so
+	// callers normally never invoke it; both engines reject reuse.
+	Start() error
+	// Quiesced reports whether the backend is parked between phases.
+	Quiesced() bool
+	// RunPhase drains all queued tasks and their descendants to the
+	// §4.1 termination condition and reports the phase.
+	RunPhase() (core.PhaseStats, error)
+	// Phase returns the number of completed phases.
+	Phase() int
+	// Snapshot returns cumulative run statistics.
+	Snapshot() core.Stats
+}
+
+// BuildFunc lays out guest memory through the backend's setup surface,
+// registers the program's task functions, and returns the root tasks.
+// It runs exactly once, on a quiescent backend, before any task executes.
+type BuildFunc func(b Backend) (roots []guest.TaskDesc, fns *guest.FnTable)
+
+// New constructs, programs and starts the backend cfg.Backend selects
+// ("" and "sim" are the simulator), runs build against it, and enqueues
+// the returned roots. Programs that register no task functions or return
+// no roots are rejected identically on every backend — a silently empty
+// run is an error, not a result.
+func New(cfg core.Config, build BuildFunc) (Backend, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Backend {
+	case "", "sim":
+		prog := &core.Program{}
+		var roots []guest.TaskDesc
+		var ft *guest.FnTable
+		prog.Setup = func(m *core.Machine) {
+			roots, ft = build(m)
+			prog.Fns = ft.Fns()
+			prog.FnNames = ft.Names()
+			for _, d := range roots {
+				m.EnqueueRootDesc(d)
+			}
+		}
+		m, err := core.NewMachine(cfg, prog)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Start(); err != nil {
+			return nil, err
+		}
+		if err := checkProgram(ft, roots); err != nil {
+			return nil, err
+		}
+		return m, nil
+	default: // "rt", "rt-conservative": Validate rejected everything else
+		r, err := rt.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Start(); err != nil {
+			return nil, err
+		}
+		roots, ft := build(r)
+		if err := checkProgram(ft, roots); err != nil {
+			return nil, err
+		}
+		r.SetProgram(ft.Fns(), ft.Names())
+		for _, d := range roots {
+			r.EnqueueRootDesc(d)
+		}
+		return r, nil
+	}
+}
+
+// checkProgram enforces the build contract once, for every engine, with
+// the error text the public swarm API has always used.
+func checkProgram(ft *guest.FnTable, roots []guest.TaskDesc) error {
+	if ft == nil || len(ft.Fns()) == 0 {
+		return errors.New("swarm: App.Build registered no task functions (use Builder.Fn)")
+	}
+	if len(roots) == 0 {
+		return errors.New("swarm: App.Build returned no root tasks — the run would be empty; return at least one Task (or check the slice you built)")
+	}
+	return nil
+}

@@ -23,6 +23,7 @@ package bench
 import (
 	"fmt"
 
+	"github.com/swarm-sim/swarm/internal/backend"
 	"github.com/swarm-sim/swarm/internal/core"
 	"github.com/swarm-sim/swarm/internal/guest"
 )
@@ -76,37 +77,34 @@ type SwarmApp struct {
 	Verify func(load func(addr uint64) uint64) error
 }
 
-// Program adapts a SwarmApp to a core.Program.
-func (app SwarmApp) Program() *core.Program {
-	p := &core.Program{}
-	p.Setup = func(m *core.Machine) {
-		b := &guest.AppBuild{Alloc: m.SetupAlloc, Store: m.Mem().Store}
+// Backend builds and starts the execution backend cfg.Backend selects
+// (simulator or native runtime), running the app's Build against its
+// setup surface and enqueueing the roots. The returned backend is parked
+// before phase 1.
+func (app SwarmApp) Backend(cfg core.Config) (backend.Backend, error) {
+	return backend.New(cfg, func(bk backend.Backend) ([]guest.TaskDesc, *guest.FnTable) {
+		b := &guest.AppBuild{Alloc: bk.SetupAlloc, Store: bk.Mem().Store}
 		roots := app.Build(b)
-		p.Fns = b.Fns()
-		p.FnNames = b.Names()
-		for _, d := range roots {
-			m.EnqueueRootDesc(d)
-		}
-	}
-	return p
+		return roots, &b.FnTable
+	})
 }
 
 // runSwarm builds, runs and verifies a SwarmApp on a machine config.
 func runSwarm(app SwarmApp, cfg core.Config) (core.Stats, error) {
-	m, err := core.NewMachine(cfg, app.Program())
+	bk, err := app.Backend(cfg)
 	if err != nil {
 		return core.Stats{}, err
 	}
-	st, err := m.Run()
+	ph, err := bk.RunPhase()
 	if err != nil {
 		return core.Stats{}, err
 	}
 	if app.Verify != nil {
-		if err := app.Verify(m.Mem().Load); err != nil {
+		if err := app.Verify(bk.Mem().Load); err != nil {
 			return core.Stats{}, fmt.Errorf("swarm result verification failed: %w", err)
 		}
 	}
-	return st, nil
+	return ph.Cumulative, nil
 }
 
 // Phased is implemented by benchmarks that execute as multi-phase sessions:

@@ -195,35 +195,32 @@ func (b *IncSSSP) swarmApp() (SwarmApp, *graph.GuestCSR, *guest.FnID) {
 // lets a daemon serve incremental resubmission against live state.
 func (b *IncSSSP) OpenSession(cfg core.Config) (*Session, error) {
 	app, gc, relaxID := b.swarmApp()
-	m, err := core.NewMachine(cfg, app.Program())
+	bk, err := app.Backend(cfg)
 	if err != nil {
-		return nil, err
-	}
-	if err := m.Start(); err != nil {
 		return nil, err
 	}
 	step := func(phase int) (core.PhaseStats, error) {
 		if phase > 0 {
 			for _, u := range b.batches[phase-1] {
-				m.Mem().Store(gc.WAddr(u.arc), u.newW)
-				du := m.Mem().Load(gc.DistAddr(u.src))
+				bk.Mem().Store(gc.WAddr(u.arc), u.newW)
+				du := bk.Mem().Load(gc.DistAddr(u.src))
 				if du == graph.Unvisited {
 					continue // tail unreachable: the decrease changes nothing yet
 				}
 				d := guest.TaskDesc{Fn: *relaxID, TS: du + u.newW, Args: [3]uint64{u.dst}}
-				m.EnqueueRootDesc(d.WithHint(u.dst))
+				bk.EnqueueRootDesc(d.WithHint(u.dst))
 			}
 		}
-		ph, err := m.RunPhase()
+		ph, err := bk.RunPhase()
 		if err != nil {
 			return core.PhaseStats{}, fmt.Errorf("incsssp phase %d: %w", phase+1, err)
 		}
-		if err := b.verifyPhase(m.Mem().Load, *gc, phase); err != nil {
+		if err := b.verifyPhase(bk.Mem().Load, *gc, phase); err != nil {
 			return core.PhaseStats{}, err
 		}
 		return ph, nil
 	}
-	return NewSession(b.Name(), b.PhaseCount(), step, m.Snapshot), nil
+	return NewSession(b.Name(), b.PhaseCount(), step, bk.Snapshot), nil
 }
 
 // RunSwarmPhases implements Phased: a full session — the initial solve,

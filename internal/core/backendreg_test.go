@@ -1,0 +1,55 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBackendRegistry pins the backend name registry: the default comes
+// first (CLIs and swarmd print the list in this order) and ValidBackend
+// accepts exactly the registered names plus "" (the default).
+func TestBackendRegistry(t *testing.T) {
+	names := BackendNames()
+	if len(names) == 0 || names[0] != "sim" {
+		t.Fatalf("BackendNames() = %v, want the default %q first", names, "sim")
+	}
+	valid := map[string]bool{"": true}
+	for _, n := range names {
+		valid[n] = true
+		if !ValidBackend(n) {
+			t.Errorf("ValidBackend(%q) = false for a registered name", n)
+		}
+	}
+	for _, bad := range []string{"native", "SIM", "Rt", " rt", "rt "} {
+		if valid[bad] {
+			continue
+		}
+		if ValidBackend(bad) {
+			t.Errorf("ValidBackend(%q) = true, want false", bad)
+		}
+	}
+	if !ValidBackend("") {
+		t.Error(`ValidBackend("") = false; "" must select the default`)
+	}
+}
+
+// TestValidateBackend checks Config.Validate both ways: the default
+// config passes, and an unknown backend is rejected with an error that
+// names the valid options — the same error every backend reports,
+// since non-simulator engines call Validate themselves.
+func TestValidateBackend(t *testing.T) {
+	cfg := DefaultConfig(4)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("DefaultConfig(4).Validate() = %v, want nil", err)
+	}
+	cfg.Backend = "turbo"
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted an unknown backend")
+	}
+	for _, want := range []string{`"turbo"`, "sim", "rt-conservative"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("Validate error %q does not mention %s", err, want)
+		}
+	}
+}

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/swarm-sim/swarm/internal/bloom"
 	"github.com/swarm-sim/swarm/internal/cache"
@@ -102,6 +103,31 @@ type Config struct {
 	// mode. It shifts host-side worker timing only and can never change
 	// simulation results; 0 (the default) disables it.
 	SimPerturb int64
+
+	// Backend names the execution engine that runs the program. "" or
+	// "sim" is the cycle-level simulator (this package); "rt" is the
+	// native speculative host runtime (internal/rt) and "rt-conservative"
+	// its conservative ordered-scheduling mode. The core package itself
+	// only executes "sim"; the backend layer (internal/backend) dispatches
+	// on this field, and every backend applies the same Validate rules.
+	Backend string
+}
+
+// BackendNames lists the valid Config.Backend values, default first.
+func BackendNames() []string { return []string{"sim", "rt", "rt-conservative"} }
+
+// ValidBackend reports whether name selects a known execution backend
+// ("" selects the default simulator and is valid).
+func ValidBackend(name string) bool {
+	if name == "" {
+		return true
+	}
+	for _, b := range BackendNames() {
+		if b == name {
+			return true
+		}
+	}
+	return false
 }
 
 // DefaultConfig returns Table 3's configuration scaled to nCores cores.
@@ -148,9 +174,18 @@ func (c Config) TaskQPerTile() int { return c.TaskQPerCore * c.CoresPerTile }
 // CommitQPerTile returns the per-tile commit queue capacity.
 func (c Config) CommitQPerTile() int { return c.CommitQPerCore * c.CoresPerTile }
 
+// Validate normalizes and checks the configuration: machine geometry,
+// queue capacities, runtime knobs. NewMachine applies it for the
+// simulator; non-simulator backends (internal/rt) call it themselves so
+// a bad Config is rejected with an identical error on every backend.
+func (c *Config) Validate() error { return c.validate() }
+
 func (c *Config) validate() error {
 	if c.Tiles <= 0 || c.CoresPerTile <= 0 {
 		return fmt.Errorf("core: invalid machine size %dx%d", c.Tiles, c.CoresPerTile)
+	}
+	if !ValidBackend(c.Backend) {
+		return fmt.Errorf("core: unknown backend %q (valid: %s)", c.Backend, strings.Join(BackendNames(), ", "))
 	}
 	if !c.UnboundedQueues {
 		if c.TaskQPerTile() < 2*c.SpillBatch {

@@ -71,6 +71,10 @@ type PhaseStats struct {
 	// Events is the number of discrete engine events the phase fired.
 	Events uint64
 
+	// WallNS is host wall-clock nanoseconds the phase took under the
+	// native backends (zero under the simulator, as in Stats.WallNS).
+	WallNS uint64
+
 	// Task events within the phase.
 	Commits      uint64
 	Aborts       uint64

@@ -26,10 +26,28 @@ type internalStats struct {
 
 // Stats is the result of one Swarm run.
 type Stats struct {
-	// Cycles is the end-to-end run time in cycles.
+	// Backend names the execution engine that produced the run: "sim"
+	// for the cycle-level simulator, "rt"/"rt-conservative" for the
+	// native host runtime (see BackendNames).
+	Backend string
+
+	// Cycles is the end-to-end run time in cycles. Zero under the native
+	// backends: they execute on host cores, so there is no simulated
+	// clock — WallNS is their time metric.
 	Cycles uint64
 	Cores  int
 	Tiles  int
+
+	// WallNS is host wall-clock nanoseconds of measured execution. Zero
+	// under the simulator, whose results must be bit-identical across
+	// hosts and host-parallelism levels; the native backends report it
+	// in place of Cycles.
+	WallNS uint64
+
+	// Retries counts speculative re-executions under the native backends
+	// (every abort is followed by a retry of the same task; the simulator
+	// tracks the equivalent via Aborts and leaves this zero).
+	Retries uint64
 
 	// Events is the number of discrete events the simulation engine fired:
 	// the host-side work metric (events/sec is the simulator's throughput).
@@ -125,6 +143,7 @@ func (s Stats) TaskQOccImbalance() float64 {
 
 func (m *Machine) collectStats() Stats {
 	s := Stats{
+		Backend:      "sim",
 		Cycles:       m.eng.Now(),
 		Events:       m.eng.Fired(),
 		Cores:        m.cfg.Cores(),

@@ -17,16 +17,20 @@ import (
 // answer against the one-shot CLI byte for byte.
 const StatsCSVHeader = "app,cores,cycles,commits,aborts,spilled,nacks,enqueues,dequeues," +
 	"committed_cycles,aborted_cycles,spill_cycles,stall_cycles,taskq_occ,commitq_occ," +
-	"bloom_checks,vt_compares,traffic_bytes,stolen_tasks,mapper"
+	"bloom_checks,vt_compares,traffic_bytes,stolen_tasks,mapper,backend,wall_ns,retries"
 
-// StatsCSVRow formats one run as a StatsCSVHeader row (no newline).
+// StatsCSVRow formats one run as a StatsCSVHeader row (no newline). The
+// trailing backend columns carry the native runtimes' metrics (wall_ns
+// and retries are zero under the simulator, as cycle columns are under
+// the native backends).
 func StatsCSVRow(app string, st core.Stats) string {
-	return fmt.Sprintf("%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.3f,%d,%d,%d,%d,%s",
+	return fmt.Sprintf("%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.3f,%d,%d,%d,%d,%s,%s,%d,%d",
 		app, st.Cores, st.Cycles, st.Commits, st.Aborts, st.SpilledTasks, st.NACKs,
 		st.Enqueues, st.Dequeues,
 		st.CommittedCycles, st.AbortedCycles, st.SpillCycles, st.StallCycles,
 		st.AvgTaskQueueOcc, st.AvgCommitQueueOcc,
-		st.BloomChecks, st.VTCompares, st.TotalTrafficBytes(), st.StolenTasks, st.Mapper)
+		st.BloomChecks, st.VTCompares, st.TotalTrafficBytes(), st.StolenTasks, st.Mapper,
+		st.Backend, st.WallNS, st.Retries)
 }
 
 // WriteStatsCSV emits a single run as header plus one row.

@@ -51,6 +51,10 @@ type Suite struct {
 	// across that many simulator goroutines (see SetSimWorkers).
 	simWorkers int
 
+	// backendName, when set, selects the execution engine of every Swarm
+	// run the suite builds (see SetBackend).
+	backendName string
+
 	// Deduplicating caches shared by concurrent sweep workers.
 	serialCycles Memo[appCoresKey, uint64]     // serial baselines
 	defaultRuns  Memo[appCoresKey, core.Stats] // default-config Swarm runs
@@ -96,14 +100,24 @@ func (s *Suite) SetMapper(name string) { s.mapperName = name }
 // sweep: the deduplicating run caches key on (app, cores) only.
 func (s *Suite) SetSimWorkers(n int) { s.simWorkers = n }
 
+// SetBackend selects the execution engine of every Swarm run the suite
+// builds ("" or "sim" keeps the cycle-level simulator; see
+// core.BackendNames). Note that cycle-based metrics are all zero under
+// the native backends, so sweeps that chart cycles are only meaningful
+// on the simulator. Call before any sweep: the deduplicating run caches
+// key on (app, cores) only.
+func (s *Suite) SetBackend(name string) { s.backendName = name }
+
 // config returns the suite's Swarm machine configuration for a core count:
-// Table 3 defaults plus the suite-wide mapper override.
+// Table 3 defaults plus the suite-wide mapper, simworkers and backend
+// overrides.
 func (s *Suite) config(cores int) core.Config {
 	cfg := core.DefaultConfig(cores)
 	if s.mapperName != "" {
 		cfg.Mapper = s.mapperName
 	}
 	cfg.SimWorkers = s.simWorkers
+	cfg.Backend = s.backendName
 	return cfg
 }
 
@@ -632,6 +646,7 @@ func (s *Suite) MapperSweep(cores int, mappers []string) ([]MapperPoint, error) 
 			cfg := core.DefaultConfig(cores)
 			cfg.Mapper = name
 			cfg.SimWorkers = s.simWorkers
+			cfg.Backend = s.backendName
 			st, err := b.RunSwarm(cfg)
 			if err != nil {
 				return fmt.Errorf("%s mapper=%s: %w", b.Name(), name, err)

@@ -184,3 +184,29 @@ func TestTable2Print(t *testing.T) {
 		t.Fatal("table 2 incomplete")
 	}
 }
+
+// TestSuiteBackendOverride proves SetBackend threads through the
+// suite's machine configuration: a scaling run on the native runtime
+// reports backend=rt stats with wall-clock instead of cycles, while
+// the serial baseline column stays cycle-based.
+func TestSuiteBackendOverride(t *testing.T) {
+	s := NewSuite(ScaleTiny)
+	s.Benchmarks = s.Benchmarks[1:2] // one app bounds time
+	s.SetBackend("rt")
+	s.SetWorkers(1)
+	res, err := s.Scaling(s.Benchmarks[0], []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Points[0].Stats
+	if st.Backend != "rt" {
+		t.Fatalf("stats backend = %q, want rt", st.Backend)
+	}
+	if st.Cycles != 0 || st.WallNS == 0 || st.Commits == 0 {
+		t.Errorf("rt stats: cycles=%d wallns=%d commits=%d, want 0/nonzero/nonzero",
+			st.Cycles, st.WallNS, st.Commits)
+	}
+	if res.Points[0].SerialCycles == 0 {
+		t.Error("serial baseline lost its cycle count under the backend override")
+	}
+}

@@ -69,6 +69,17 @@ func ValidateCores(n int) error {
 	return fmt.Errorf("invalid core count %d (valid: 1, 2, 3, 4, or any multiple of 4)", n)
 }
 
+// ValidateBackend checks an execution-backend name against the engines
+// the backend layer can build ("" selects the default simulator and is
+// valid). Matches core.Config validation, but fails before any input
+// generation and with flag-level context.
+func ValidateBackend(name string) error {
+	if core.ValidBackend(name) {
+		return nil
+	}
+	return fmt.Errorf("unknown backend %q (valid: %s)", name, strings.Join(core.BackendNames(), ", "))
+}
+
 // ValidateSimWorkers checks a tile-parallel shard count (0 and 1 both
 // select the single-threaded simulator).
 func ValidateSimWorkers(n int) error {

@@ -37,6 +37,14 @@ func TestValidateFlags(t *testing.T) {
 		{"scale", "small", false, nil},
 		{"scale", "medium", false, nil},
 		{"scale", "large", true, []string{`unknown scale "large"`, "tiny", "small", "medium"}},
+
+		// -backend
+		{"backend", "", false, nil}, // default simulator
+		{"backend", "sim", false, nil},
+		{"backend", "rt", false, nil},
+		{"backend", "rt-conservative", false, nil},
+		{"backend", "native", true, []string{`unknown backend "native"`, "sim", "rt", "rt-conservative"}},
+		{"backend", "RT", true, []string{`unknown backend "RT"`, "valid:"}},
 	}
 	for _, tc := range tests {
 		var err error
@@ -47,6 +55,8 @@ func TestValidateFlags(t *testing.T) {
 			err = ValidateMapper(tc.value)
 		case "scale":
 			_, err = ValidateScale(tc.value)
+		case "backend":
+			err = ValidateBackend(tc.value)
 		}
 		if (err != nil) != tc.wantErr {
 			t.Errorf("-%s=%q: err = %v, wantErr = %v", tc.flag, tc.value, err, tc.wantErr)

@@ -72,6 +72,22 @@ func (m *Memory) Store(addr, val uint64) {
 	m.page(addr)[(addr>>WordShift)&(pageWords-1)] = val
 }
 
+// Peek returns the 64-bit word at addr without mutating the memory: no
+// page materialization and no last-page cache update. Unlike Load it is
+// safe for concurrent readers while no writer runs — the native runtime
+// (internal/rt) freezes the base memory during a phase and lets worker
+// goroutines Peek it while buffering speculative writes elsewhere.
+func (m *Memory) Peek(addr uint64) uint64 {
+	if !WordAligned(addr) {
+		panic(fmt.Sprintf("mem: misaligned load at %#x", addr))
+	}
+	p, ok := m.pages[addr>>pageShift]
+	if !ok {
+		return 0
+	}
+	return p[(addr>>WordShift)&(pageWords-1)]
+}
+
 // Pages returns the number of materialized pages (for tests/diagnostics).
 func (m *Memory) Pages() int { return len(m.pages) }
 

@@ -1,0 +1,156 @@
+package rt
+
+import (
+	"fmt"
+
+	"github.com/swarm-sim/swarm/internal/guest"
+)
+
+// opCap bounds the operations one task attempt may issue. Inconsistent
+// speculative reads (a task observing words from two different commits)
+// can send pure guest code into a loop that committed state would never
+// produce; the cap converts the loop into an abort. The budget is far
+// above any legitimate task (the suite's tasks issue tens of operations;
+// serial-grade bodies run millions), so tripping it from a *valid* read
+// set is reported as a genuine runaway instead of retried forever.
+const opCap = 1 << 24
+
+// opCapPanic is the sentinel thrown when a task attempt exhausts opCap.
+type opCapPanic struct{}
+
+// readRec is one read-set entry: the first value and version a task
+// observed at an address. Later loads of the same address return the
+// cached value, so a task can never see two versions of one word
+// (repeatable reads); cross-address inconsistency is caught by commit
+// validation, the panic path, or the op cap.
+type readRec struct {
+	val, ver uint64
+}
+
+// taskEnv implements guest.TaskEnv for one task attempt: reads come from
+// the committed store (recorded in the read set), writes and child
+// enqueues stay buffered until commit. The DebugChecks commit-time
+// re-execution uses a second, fresh taskEnv and compares the buffered
+// write/child sets for divergence. A taskEnv lives on one worker
+// goroutine; nothing here locks beyond the store's shard read-locks.
+type taskEnv struct {
+	r    *Runtime
+	desc guest.TaskDesc
+
+	reads    map[uint64]readRec
+	writes   map[uint64]uint64
+	order    []uint64 // write addresses in first-write order (determinism)
+	children []guest.TaskDesc
+	frees    []span
+	ops      uint64
+	allocd   bool // the attempt called Alloc (see Runtime.recheckLocked)
+}
+
+type span struct {
+	addr, n uint64
+}
+
+func newTaskEnv(r *Runtime, desc guest.TaskDesc) *taskEnv {
+	return &taskEnv{
+		r:      r,
+		desc:   desc,
+		reads:  make(map[uint64]readRec),
+		writes: make(map[uint64]uint64),
+	}
+}
+
+func (e *taskEnv) step(n uint64) {
+	e.ops += n
+	if e.ops > opCap {
+		panic(opCapPanic{})
+	}
+}
+
+// Load implements guest.Env: read-own-writes, then the read cache, then
+// the committed store (recording the observed version).
+func (e *taskEnv) Load(addr uint64) uint64 {
+	e.step(1)
+	if v, ok := e.writes[addr]; ok {
+		return v
+	}
+	if r, ok := e.reads[addr]; ok {
+		return r.val
+	}
+	val, ver := e.r.store.read(addr)
+	e.reads[addr] = readRec{val: val, ver: ver}
+	return val
+}
+
+// Store implements guest.Env: buffered until commit.
+func (e *taskEnv) Store(addr, val uint64) {
+	e.step(1)
+	if _, ok := e.writes[addr]; !ok {
+		e.order = append(e.order, addr)
+	}
+	e.writes[addr] = val
+}
+
+// Work implements guest.Env. The native runtime executes for real, so
+// modeled compute cycles cost nothing here; they still count against the
+// op cap so a loop spinning on Work alone cannot livelock an attempt.
+func (e *taskEnv) Work(n uint64) { e.step(n) }
+
+// Alloc implements guest.Env. Allocation is shared mutable host state,
+// so it is mutex-guarded; an aborted attempt leaks its allocations (the
+// idealized allocator never reuses a speculatively handed-out region, so
+// the leak is benign). Note that in-task allocation makes addresses
+// depend on speculative interleaving — none of the suite's Swarm task
+// bodies allocate (layout happens in Build), and programs that want
+// backend-identical final memory must keep it that way.
+func (e *taskEnv) Alloc(n uint64) uint64 {
+	e.step(1)
+	e.allocd = true
+	e.r.heapMu.Lock()
+	defer e.r.heapMu.Unlock()
+	return e.r.heap.Alloc(n)
+}
+
+// Free implements guest.Env: deferred to commit, as the task-aware
+// allocator requires (speculatively freed memory is never reused).
+func (e *taskEnv) Free(addr, n uint64) {
+	e.step(1)
+	e.frees = append(e.frees, span{addr: addr, n: n})
+}
+
+// Timestamp implements guest.TaskEnv.
+func (e *taskEnv) Timestamp() uint64 { return e.desc.TS }
+
+// Arg implements guest.TaskEnv.
+func (e *taskEnv) Arg(i int) uint64 { return e.desc.Args[i] }
+
+// Enqueue implements guest.TaskEnv.
+func (e *taskEnv) Enqueue(fn guest.FnID, ts uint64, args ...uint64) {
+	var a [3]uint64
+	if len(args) > len(a) {
+		panic("guest: task descriptors hold at most 3 argument words; allocate memory for more (§4.1)")
+	}
+	copy(a[:], args)
+	e.EnqueueArgs(fn, ts, a)
+}
+
+// EnqueueArgs implements guest.TaskEnv: children are buffered and become
+// runnable only when the parent commits, so a misspeculated parent's
+// children never exist and aborts cannot cascade.
+func (e *taskEnv) EnqueueArgs(fn guest.FnID, ts uint64, args [3]uint64) {
+	if ts < e.desc.TS {
+		panic(fmt.Sprintf("guest: child timestamp %d before parent %d", ts, e.desc.TS))
+	}
+	e.step(1)
+	e.children = append(e.children, guest.TaskDesc{Fn: fn, TS: ts, Args: args})
+}
+
+// EnqueueHinted implements guest.TaskEnv. Spatial hints steer the
+// simulator's tile mappers; the native scheduler places work by virtual
+// time only, so the hint is carried but unused.
+func (e *taskEnv) EnqueueHinted(fn guest.FnID, ts uint64, hint uint64, args [3]uint64) {
+	if ts < e.desc.TS {
+		panic(fmt.Sprintf("guest: child timestamp %d before parent %d", ts, e.desc.TS))
+	}
+	e.step(1)
+	e.children = append(e.children, guest.TaskDesc{Fn: fn, TS: ts, Args: args}.WithHint(hint))
+}

@@ -1,0 +1,314 @@
+package rt
+
+import (
+	"container/heap"
+	"sync"
+
+	"github.com/swarm-sim/swarm/internal/guest"
+)
+
+// vtime is a task's unique virtual time: the guest timestamp ordered
+// first, broken by a global creation sequence number, exactly like the
+// simulator's (timestamp, tiebreaker) virtual time (§4.2). Roots take
+// sequence numbers in setup order; children take them at their parent's
+// commit. Commits happen strictly in vtime order and children inherit
+// sequence numbers from a deterministic commit sequence, so the total
+// order — and with it the final guest memory — is independent of worker
+// interleaving.
+type vtime struct {
+	ts, seq uint64
+}
+
+func (a vtime) less(b vtime) bool {
+	return a.ts < b.ts || (a.ts == b.ts && a.seq < b.seq)
+}
+
+// task is one schedulable unit. vt is fixed at creation and survives
+// aborts; env holds the attempt's read/write/child buffers once the task
+// has executed and is sitting in the commit queue.
+type task struct {
+	desc guest.TaskDesc
+	vt   vtime
+	env  *taskEnv
+}
+
+// taskHeap is a min-heap of tasks by vtime.
+type taskHeap []*task
+
+func (h taskHeap) Len() int           { return len(h) }
+func (h taskHeap) Less(i, j int) bool { return h[i].vt.less(h[j].vt) }
+func (h taskHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x any)        { *h = append(*h, x.(*task)) }
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+// sched is the software task unit + commit queue: a sharded timestamp-
+// ordered ready queue feeding worker goroutines, a running set, and a
+// commit queue drained strictly in vtime order. One mutex guards it all;
+// tasks execute outside the lock, so the lock only serializes dispatch
+// and commit — the runtime's software stand-in for the simulator's
+// per-tile task units and GVT-gated commit queues.
+type sched struct {
+	r  *Runtime
+	mu sync.Mutex
+	// cond wakes workers when ready work appears, a commit frees the
+	// commit queue head, or the phase drains.
+	cond *sync.Cond
+
+	// ready holds runnable tasks, sharded by sequence number the way the
+	// simulator spreads tasks over tiles; a pop scans the shard heads for
+	// the global minimum vtime.
+	ready  []taskHeap
+	readyN int
+	// running is the set of dispatched, not-yet-finished attempts.
+	running map[*task]struct{}
+	// commitQ holds executed tasks awaiting their turn to validate and
+	// commit in vtime order.
+	commitQ taskHeap
+
+	// conservative restricts dispatch to tasks at the minimum uncommitted
+	// timestamp (level-synchronous waves): no task runs ahead of virtual
+	// time, so aborts only come from same-timestamp conflicts.
+	conservative bool
+
+	seqCtr uint64
+	done   bool
+	err    error
+
+	commits, aborts, retries uint64
+	enqueues, dequeues       uint64
+}
+
+func newSched(r *Runtime, shards int, conservative bool) *sched {
+	s := &sched{
+		r:            r,
+		ready:        make([]taskHeap, shards),
+		running:      make(map[*task]struct{}),
+		conservative: conservative,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// pushReadyLocked makes a task (new or retried) runnable.
+func (s *sched) pushReadyLocked(t *task) {
+	t.env = nil
+	heap.Push(&s.ready[t.vt.seq%uint64(len(s.ready))], t)
+	s.readyN++
+}
+
+// enqueueLocked admits a new descriptor, assigning the next sequence
+// number. Callers are single-threaded (setup) or hold the commit path's
+// serialization (child enqueue at parent commit), so sequence assignment
+// is deterministic.
+func (s *sched) enqueueLocked(d guest.TaskDesc) {
+	s.seqCtr++
+	s.enqueues++
+	s.pushReadyLocked(&task{desc: d, vt: vtime{ts: d.TS, seq: s.seqCtr}})
+}
+
+// minActiveLocked returns the minimum vtime over ready and running tasks
+// — the bound a commit queue head must beat to be certain no earlier
+// task can still appear before it.
+func (s *sched) minActiveLocked() (vtime, bool) {
+	var best vtime
+	ok := false
+	for i := range s.ready {
+		if len(s.ready[i]) > 0 {
+			if v := s.ready[i][0].vt; !ok || v.less(best) {
+				best, ok = v, true
+			}
+		}
+	}
+	for t := range s.running {
+		if !ok || t.vt.less(best) {
+			best, ok = t.vt, true
+		}
+	}
+	return best, ok
+}
+
+// minUncommittedTSLocked returns the smallest guest timestamp among all
+// uncommitted tasks: the conservative mode's dispatch frontier.
+func (s *sched) minUncommittedTSLocked() (uint64, bool) {
+	min, ok := s.minActiveLocked()
+	ts, any := min.ts, ok
+	if s.commitQ.Len() > 0 {
+		if h := s.commitQ[0].vt.ts; !any || h < ts {
+			ts, any = h, true
+		}
+	}
+	return ts, any
+}
+
+// popEligibleLocked dispatches the minimum-vtime ready task, or nil if
+// none is runnable. Speculative mode dispatches the global ready minimum
+// regardless of what is still uncommitted; conservative mode holds tasks
+// back until their timestamp is the minimum uncommitted timestamp.
+func (s *sched) popEligibleLocked() *task {
+	best := -1
+	for i := range s.ready {
+		if len(s.ready[i]) == 0 {
+			continue
+		}
+		if best < 0 || s.ready[i][0].vt.less(s.ready[best][0].vt) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	if s.conservative {
+		if frontier, ok := s.minUncommittedTSLocked(); ok && s.ready[best][0].vt.ts > frontier {
+			return nil
+		}
+	}
+	t := heap.Pop(&s.ready[best]).(*task)
+	s.readyN--
+	return t
+}
+
+// next blocks until it can hand the calling worker a task, or returns
+// nil when the phase is drained (or poisoned by err). It also drives the
+// commit queue: every wakeup drains whatever has become committable.
+func (s *sched) next() *task {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.err != nil || s.done {
+			return nil
+		}
+		s.tryCommitsLocked()
+		if s.err != nil {
+			return nil
+		}
+		if t := s.popEligibleLocked(); t != nil {
+			s.running[t] = struct{}{}
+			s.dequeues++
+			return t
+		}
+		if s.readyN == 0 && len(s.running) == 0 && s.commitQ.Len() == 0 {
+			s.done = true
+			s.cond.Broadcast()
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// finish moves an executed attempt to the commit queue and drains any
+// newly committable prefix.
+func (s *sched) finish(t *task, env *taskEnv) {
+	s.mu.Lock()
+	delete(s.running, t)
+	t.env = env
+	heap.Push(&s.commitQ, t)
+	s.tryCommitsLocked()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// handlePanic resolves a panic thrown during speculative execution. A
+// task that read an inconsistent snapshot can do anything a wrong branch
+// allows — index out of range, misaligned address, runaway loop — so a
+// panic is first treated as suspected misspeculation: if the read set no
+// longer validates, the attempt aborts and retries like any conflict.
+// If the reads were consistent the panic is real: an op-cap overrun
+// becomes a runtime error (infinite loop in guest code), anything else
+// re-panics exactly as it would under the simulator.
+func (s *sched) handlePanic(t *task, env *taskEnv, pval any) {
+	s.mu.Lock()
+	delete(s.running, t)
+	if !s.validLocked(env) {
+		s.aborts++
+		s.retries++
+		s.pushReadyLocked(t)
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return
+	}
+	if _, capped := pval.(opCapPanic); capped {
+		s.failLocked(s.r.taskErr(t, "exceeded %d operations in one attempt — likely an infinite loop", uint64(opCap)))
+		s.mu.Unlock()
+		return
+	}
+	s.failLocked(nil) // poison the phase so peers stop before the repanic
+	s.mu.Unlock()
+	panic(pval)
+}
+
+// failLocked poisons the phase with its first error and wakes everyone.
+func (s *sched) failLocked(err error) {
+	if s.err == nil {
+		if err == nil {
+			err = errGuestPanic
+		}
+		s.err = err
+	}
+	s.cond.Broadcast()
+}
+
+// validLocked checks an attempt's read set against current committed
+// versions. Commits only happen under s.mu, so the check is stable.
+func (s *sched) validLocked(env *taskEnv) bool {
+	for addr, rec := range env.reads {
+		if s.r.store.version(addr) != rec.ver {
+			return false
+		}
+	}
+	return true
+}
+
+// tryCommitsLocked drains the committable prefix of the commit queue: a
+// task commits only once no ready or running task precedes it in vtime,
+// which makes the commit sequence strictly vtime-ordered — the software
+// equivalent of GVT-gated commit (§4.2). Validation failures abort and
+// requeue the task; since the requeued task now precedes the rest of the
+// commit queue, the drain stops and the retry runs first. The minimum-
+// vtime uncommitted task can never be invalidated while running (nothing
+// may commit under it), so every task eventually commits.
+func (s *sched) tryCommitsLocked() {
+	for s.commitQ.Len() > 0 && s.err == nil {
+		head := s.commitQ[0]
+		if min, ok := s.minActiveLocked(); ok && min.less(head.vt) {
+			return
+		}
+		heap.Pop(&s.commitQ)
+		if !s.validLocked(head.env) {
+			s.aborts++
+			s.retries++
+			s.pushReadyLocked(head)
+			s.cond.Broadcast()
+			continue
+		}
+		if s.r.cfg.DebugChecks {
+			if err := s.r.recheckLocked(head); err != nil {
+				s.failLocked(err)
+				return
+			}
+		}
+		env := head.env
+		for _, addr := range env.order {
+			s.r.store.commitWrite(addr, env.writes[addr])
+		}
+		for _, d := range env.children {
+			s.enqueueLocked(d)
+		}
+		if len(env.frees) > 0 {
+			s.r.heapMu.Lock()
+			for _, f := range env.frees {
+				s.r.heap.Free(0, f.addr, f.n)
+			}
+			s.r.heap.ReleaseQuarantine(0)
+			s.r.heapMu.Unlock()
+		}
+		s.commits++
+		s.cond.Broadcast()
+	}
+}

@@ -25,6 +25,11 @@ type JobSpec struct {
 	Cores int `json:"cores,omitempty"`
 	// Mapper is the task-mapping policy (default random).
 	Mapper string `json:"mapper,omitempty"`
+	// Backend is the execution engine: sim (the cycle-level simulator,
+	// default), rt (the native speculative runtime) or rt-conservative.
+	// Results from different backends never dedupe onto each other — the
+	// backend is part of the cache key like every other field.
+	Backend string `json:"backend,omitempty"`
 	// SimWorkers shards the simulated machine across host goroutines;
 	// results are bit-identical for every value (default single-threaded).
 	SimWorkers int `json:"simworkers,omitempty"`
@@ -43,6 +48,11 @@ func (j JobSpec) withDefaults() JobSpec {
 	}
 	if j.Mapper == "" {
 		j.Mapper = "random"
+	}
+	if j.Backend == "" {
+		// Normalized so {"backend":"sim"} and an absent field are one
+		// cache entry.
+		j.Backend = "sim"
 	}
 	if j.Seed == 0 {
 		j.Seed = 1
@@ -71,6 +81,9 @@ func (j JobSpec) Validate() error {
 		return err
 	}
 	if err := harness.ValidateMapper(j.Mapper); err != nil {
+		return err
+	}
+	if err := harness.ValidateBackend(j.Backend); err != nil {
 		return err
 	}
 	if err := harness.ValidateSimWorkers(j.SimWorkers); err != nil {
@@ -102,6 +115,7 @@ func (j JobSpec) scale() bench.Scale {
 func (j JobSpec) machineConfig() core.Config {
 	cfg := core.DefaultConfig(j.Cores)
 	cfg.Mapper = j.Mapper
+	cfg.Backend = j.Backend
 	cfg.Seed = j.Seed
 	cfg.SimWorkers = j.SimWorkers
 	return cfg

@@ -1,13 +1,16 @@
 // Package serve implements swarmd, the simulation-as-a-service daemon:
 // a long-running HTTP/JSON front end over the deterministic simulator.
-// Clients POST simulation jobs (app, scale, cores, mapper, simworkers,
-// seed, phases); the daemon runs them on a bounded harness worker pool
-// and serves results as JSON or CSV. Because every simulation is a pure
-// function of its specification, identical concurrent submissions are
-// deduplicated through a singleflight result cache — the error-evicting
-// harness.Memo, so one transient failure never poisons a configuration —
-// and a job's answer is byte-identical to a one-shot `swarmsim` run of
-// the same configuration.
+// Clients POST simulation jobs (app, scale, cores, mapper, backend,
+// simworkers, seed, phases); the daemon runs them on a bounded harness
+// worker pool and serves results as JSON or CSV. Because every
+// simulation is a pure function of its specification, identical
+// concurrent submissions are deduplicated through a singleflight result
+// cache — the error-evicting harness.Memo, so one transient failure
+// never poisons a configuration — and a job's answer is byte-identical
+// to a one-shot `swarmsim` run of the same configuration. (Native rt
+// backends are the one caveat: their committed results are
+// deterministic but their wall-clock and abort counts are not, so a
+// cache hit replays the first run's timing.)
 //
 // The service splits two listeners, cozy-stack style: the public API
 // (jobs, sessions, app registry, health) and an admin port carrying
@@ -33,6 +36,7 @@ import (
 	"time"
 
 	"github.com/swarm-sim/swarm/internal/bench"
+	"github.com/swarm-sim/swarm/internal/core"
 	"github.com/swarm-sim/swarm/internal/harness"
 )
 
@@ -79,6 +83,9 @@ type Server struct {
 	cacheHits     expvar.Int
 	cacheMisses   expvar.Int
 	sessionsOpen  expvar.Int
+	// jobsByBackend counts submissions per execution backend
+	// (jobs_by_backend.sim / .rt / .rt-conservative).
+	jobsByBackend expvar.Map
 	started       time.Time
 
 	ctx    context.Context
@@ -106,6 +113,8 @@ func New(cfg Config) *Server {
 	s.vars.Set("cache_hits", &s.cacheHits)
 	s.vars.Set("cache_misses", &s.cacheMisses)
 	s.vars.Set("sessions_open", &s.sessionsOpen)
+	s.jobsByBackend.Init()
+	s.vars.Set("jobs_by_backend", &s.jobsByBackend)
 	s.vars.Set("queue_depth", expvar.Func(func() any { return s.runner.QueueDepth() }))
 	s.vars.Set("jobs_in_flight", expvar.Func(func() any { return s.runner.InFlight() }))
 	s.vars.Set("uptime_seconds", expvar.Func(func() any { return int64(time.Since(s.started).Seconds()) }))
@@ -184,6 +193,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.jobsSubmitted.Add(1)
+	s.jobsByBackend.Add(spec.Backend, 1)
 	w.Header().Set("Location", "/jobs/"+job.ID)
 	writeJSON(w, http.StatusAccepted, job.json())
 }
@@ -326,7 +336,7 @@ func (s *Server) handleApps(w http.ResponseWriter, _ *http.Request) {
 			Figures:     m.Figures,
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"apps": out})
+	writeJSON(w, http.StatusOK, map[string]any{"apps": out, "backends": core.BackendNames()})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

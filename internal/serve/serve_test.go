@@ -112,7 +112,10 @@ func (d *testDaemon) waitJob(t *testing.T, id string) jobJSON {
 	return jobJSON{}
 }
 
-// adminVars fetches and decodes the admin /debug/vars counters.
+// adminVars fetches and decodes the admin /debug/vars counters. The
+// scalar counters come back flat; the per-backend submission counts in
+// the nested jobs_by_backend object are flattened to
+// "jobs_by_backend.<name>" keys.
 func (d *testDaemon) adminVars(t *testing.T) map[string]int64 {
 	t.Helper()
 	resp, err := http.Get(d.admin.URL + "/debug/vars")
@@ -121,12 +124,26 @@ func (d *testDaemon) adminVars(t *testing.T) map[string]int64 {
 	}
 	defer resp.Body.Close()
 	var doc struct {
-		Swarmd map[string]int64 `json:"swarmd"`
+		Swarmd map[string]json.RawMessage `json:"swarmd"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
 		t.Fatalf("decode /debug/vars: %v", err)
 	}
-	return doc.Swarmd
+	out := make(map[string]int64, len(doc.Swarmd))
+	for k, raw := range doc.Swarmd {
+		var n int64
+		if json.Unmarshal(raw, &n) == nil {
+			out[k] = n
+			continue
+		}
+		var nested map[string]int64
+		if json.Unmarshal(raw, &nested) == nil {
+			for sub, v := range nested {
+				out[k+"."+sub] = v
+			}
+		}
+	}
+	return out
 }
 
 // directCSV computes the reference CSV for a spec by driving the bench

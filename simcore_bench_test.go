@@ -36,6 +36,13 @@ var simcoreApps = []string{"sssp", "des"}
 // bit-identical across all of them; only host throughput differs.
 var simcoreWorkers = []int{1, 2, 8}
 
+// simcoreBackends are the measured native-runtime points: swarm-rt
+// executes the same guest programs on host goroutines, so its
+// committed-tasks-per-second sits next to the simulator's events-per-
+// second in the JSON record. (rt-conservative is a semantics variant,
+// not a performance point — one runtime cell is enough trajectory.)
+var simcoreBackends = []string{"rt"}
+
 const (
 	simcoreScale = bench.ScaleSmall
 	simcoreCores = 64
@@ -49,6 +56,17 @@ func runSimcoreOnce(tb testing.TB, b bench.Benchmark, simWorkers int) core.Stats
 	st, err := b.RunSwarm(cfg)
 	if err != nil {
 		tb.Fatalf("%s simworkers=%d: %v", b.Name(), simWorkers, err)
+	}
+	return st
+}
+
+// runSimcoreBackendOnce runs one app once on a native runtime backend.
+func runSimcoreBackendOnce(tb testing.TB, b bench.Benchmark, backendName string) core.Stats {
+	cfg := core.DefaultConfig(simcoreCores)
+	cfg.Backend = backendName
+	st, err := b.RunSwarm(cfg)
+	if err != nil {
+		tb.Fatalf("%s backend=%s: %v", b.Name(), backendName, err)
 	}
 	return st
 }
@@ -78,6 +96,19 @@ func BenchmarkSimcore(b *testing.B) {
 				}
 			})
 		}
+		for _, bkname := range simcoreBackends {
+			bkname := bkname
+			b.Run(fmt.Sprintf("%s/backend=%s", name, bkname), func(b *testing.B) {
+				b.ReportAllocs()
+				var commits uint64
+				for i := 0; i < b.N; i++ {
+					commits += runSimcoreBackendOnce(b, app, bkname).Commits
+				}
+				if sec := b.Elapsed().Seconds(); sec > 0 {
+					b.ReportMetric(float64(commits)/sec, "tasks/sec")
+				}
+			})
+		}
 	}
 }
 
@@ -97,11 +128,16 @@ type SimcoreRecord struct {
 }
 
 // SimcoreAppEntry is one (app, simworkers) host-performance measurement.
-// SimWorkers == 1 is the single-threaded simulator.
+// SimWorkers == 1 is the single-threaded simulator. Entries with a
+// Backend are native-runtime points: no events or cycles exist there, so
+// the throughput number is committed guest tasks per second instead
+// (SimWorkers is zero — the runtime sizes itself from the core count).
 type SimcoreAppEntry struct {
 	App           string  `json:"app"`
+	Backend       string  `json:"backend,omitempty"`
 	SimWorkers    int     `json:"sim_workers"`
 	EventsPerSec  float64 `json:"events_per_sec"`
+	TasksPerSec   float64 `json:"tasks_per_sec,omitempty"`
 	NsPerSimCycle float64 `json:"ns_per_sim_cycle"`
 	NsPerOp       int64   `json:"ns_per_op"`
 	AllocsPerOp   int64   `json:"allocs_per_op"`
@@ -163,6 +199,31 @@ func TestWriteSimcoreBenchJSON(t *testing.T) {
 			rec.Apps = append(rec.Apps, entry)
 			t.Logf("%s simworkers=%d: %.0f events/sec, %.1f ns/sim-cycle, %d allocs/op, %d B/op",
 				name, sw, entry.EventsPerSec, entry.NsPerSimCycle, entry.AllocsPerOp, entry.BytesPerOp)
+		}
+		for _, bkname := range simcoreBackends {
+			var last core.Stats
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					last = runSimcoreBackendOnce(b, app, bkname)
+				}
+			})
+			// No DeepEqual tripwire here: rt's committed results are
+			// deterministic but its wall-clock and abort counts are not.
+			// The cross-backend differential suite guards correctness.
+			entry := SimcoreAppEntry{
+				App:         name,
+				Backend:     bkname,
+				NsPerOp:     res.NsPerOp(),
+				AllocsPerOp: res.AllocsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+			}
+			if res.NsPerOp() > 0 {
+				entry.TasksPerSec = float64(last.Commits) / (float64(res.NsPerOp()) / 1e9)
+			}
+			rec.Apps = append(rec.Apps, entry)
+			t.Logf("%s backend=%s: %.0f tasks/sec, %d allocs/op, %d B/op",
+				name, bkname, entry.TasksPerSec, entry.AllocsPerOp, entry.BytesPerOp)
 		}
 	}
 	f, err := os.Create("BENCH_simcore.json")

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/swarm-sim/swarm/internal/backend"
 	"github.com/swarm-sim/swarm/internal/core"
 	"github.com/swarm-sim/swarm/internal/guest"
 	"github.com/swarm-sim/swarm/internal/mem"
@@ -60,7 +61,16 @@ type Task = guest.TaskDesc
 // Config describes the simulated machine (Table 3 of the paper).
 // Config.SimWorkers > 1 shards the simulation across host goroutines
 // with bit-identical results (see DESIGN.md, "Tile-parallel simulation").
+// Config.Backend selects the execution engine: the cycle-level simulator
+// (the default) or the native speculative runtime (see BackendNames and
+// DESIGN.md, "Execution backends").
 type Config = core.Config
+
+// BackendNames lists the valid Config.Backend values: "sim" (the
+// cycle-level simulator, also selected by the empty string), "rt" (the
+// native speculative runtime) and "rt-conservative" (the native runtime
+// without cross-timestamp speculation).
+func BackendNames() []string { return core.BackendNames() }
 
 // Stats reports a run's cycles, commits, aborts, queue occupancies, NoC
 // traffic and cycle breakdowns.
@@ -78,24 +88,25 @@ func DefaultConfig(nCores int) Config { return core.DefaultConfig(nCores) }
 // Mem provides setup-cost access to guest memory: allocation,
 // initialization and inspection outside the measured execution (before
 // the run and, in sessions, between phases — the paper fast-forwards
-// through initialization, §5).
+// through initialization, §5). It is backend-agnostic: the same surface
+// reaches simulator and native-runtime guest memory.
 type Mem struct {
-	m *core.Machine
+	b backend.Backend
 }
 
 // Alloc reserves n bytes of guest memory (64-byte aligned) at no
 // simulated cost.
-func (m *Mem) Alloc(n uint64) uint64 { return m.m.SetupAlloc(n) }
+func (m *Mem) Alloc(n uint64) uint64 { return m.b.SetupAlloc(n) }
 
 // Free releases an allocation at no simulated cost. Valid only at
 // quiescent points, where no speculative task can hold the region.
-func (m *Mem) Free(addr, n uint64) { m.m.SetupFree(addr, n) }
+func (m *Mem) Free(addr, n uint64) { m.b.SetupFree(addr, n) }
 
 // Store initializes a 64-bit guest word at no simulated cost.
-func (m *Mem) Store(addr, val uint64) { m.m.Mem().Store(addr, val) }
+func (m *Mem) Store(addr, val uint64) { m.b.Mem().Store(addr, val) }
 
 // Load reads a 64-bit guest word.
-func (m *Mem) Load(addr uint64) uint64 { return m.m.Mem().Load(addr) }
+func (m *Mem) Load(addr uint64) uint64 { return m.b.Mem().Load(addr) }
 
 // AllocWords reserves and zero-initializes n 64-bit words, returning the
 // base address.
@@ -105,7 +116,7 @@ func (m *Mem) AllocWords(n uint64) uint64 { return m.Alloc(n * 8) }
 // at no simulated cost.
 func (m *Mem) StoreWords(addr uint64, vals []uint64) {
 	for i, v := range vals {
-		m.m.Mem().Store(addr+uint64(i)*8, v)
+		m.b.Mem().Store(addr+uint64(i)*8, v)
 	}
 }
 
@@ -117,12 +128,12 @@ func (m *Mem) LoadWords(addr, n uint64) []uint64 {
 // NewWords allocates a fresh n-word guest array and returns a typed view
 // of it.
 func (m *Mem) NewWords(n uint64) Words {
-	return Words{base: m.AllocWords(n), n: n, mem: m.m.Mem()}
+	return Words{base: m.AllocWords(n), n: n, mem: m.b.Mem()}
 }
 
 // Words returns a typed view of n existing guest words at addr.
 func (m *Mem) Words(addr, n uint64) Words {
-	return Words{base: addr, n: n, mem: m.m.Mem()}
+	return Words{base: addr, n: n, mem: m.b.Mem()}
 }
 
 // Builder is the build-time view handed to App.Build: guest-memory setup
@@ -174,55 +185,41 @@ func (r Result) View(addr, n uint64) Words {
 // express warm restarts, incremental inputs and occupancy-over-time
 // measurement that one-shot Run cannot.
 //
-// A Sim is not safe for concurrent use; like every simulation here it is
-// fully deterministic — the same configuration, program and phase inputs
-// always produce the same cycle counts.
+// A Sim is not safe for concurrent use. Under the default simulator
+// backend it is fully deterministic — the same configuration, program
+// and phase inputs always produce the same cycle counts; under the
+// native backends the final guest memory is equally deterministic but
+// the wall-clock statistics are measured, not modeled.
 type Sim struct {
-	m        *core.Machine
+	b        backend.Backend
 	phases   []PhaseStats
 	finished bool
 }
 
-// NewSim builds a session: the machine is constructed, App.Build runs
-// (laying out memory and enqueueing the roots), and the session parks at
-// its initial quiescent point without simulating a cycle. An App whose
-// Build returns no root tasks is an error: the run would be silently
-// empty.
+// NewSim builds a session: the backend cfg.Backend selects is
+// constructed, App.Build runs (laying out memory and enqueueing the
+// roots), and the session parks at its initial quiescent point without
+// executing a task. An App whose Build returns no root tasks is an
+// error: the run would be silently empty.
 func NewSim(cfg Config, app App) (*Sim, error) {
 	if app.Build == nil {
 		return nil, errors.New("swarm: App.Build is required")
 	}
-	prog := &core.Program{}
-	prog.Setup = func(m *core.Machine) {
-		b := &Builder{Mem: &Mem{m: m}, fns: &guest.FnTable{}}
-		roots := app.Build(b)
-		prog.Fns = b.fns.Fns()
-		prog.FnNames = b.fns.Names()
-		for _, d := range roots {
-			m.EnqueueRootDesc(d)
-		}
-	}
-	m, err := core.NewMachine(cfg, prog)
+	bk, err := backend.New(cfg, func(bk backend.Backend) ([]Task, *guest.FnTable) {
+		b := &Builder{Mem: &Mem{b: bk}, fns: &guest.FnTable{}}
+		return app.Build(b), b.fns
+	})
 	if err != nil {
 		return nil, err
 	}
-	if err := m.Start(); err != nil {
-		return nil, err
-	}
-	if len(prog.Fns) == 0 {
-		return nil, errors.New("swarm: App.Build registered no task functions (use Builder.Fn)")
-	}
-	if m.QueuedTasks() == 0 {
-		return nil, errors.New("swarm: App.Build returned no root tasks — the run would be empty; return at least one Task (or check the slice you built)")
-	}
-	return &Sim{m: m}, nil
+	return &Sim{b: bk}, nil
 }
 
 // Mem returns setup-cost access to guest memory. Valid at quiescent
 // points: after NewSim, between phases, and after the last phase — this
 // is how a session mutates inputs (and reads intermediate results)
 // between RunToQuiescence calls.
-func (s *Sim) Mem() *Mem { return &Mem{m: s.m} }
+func (s *Sim) Mem() *Mem { return &Mem{b: s.b} }
 
 // Enqueue inserts parentless root tasks for the next phase, at no
 // simulated cost (injection models an external agent — a network card, a
@@ -234,7 +231,7 @@ func (s *Sim) Enqueue(tasks ...Task) error {
 		return errors.New("swarm: Enqueue after Finish")
 	}
 	for _, d := range tasks {
-		s.m.EnqueueRootDesc(d)
+		s.b.EnqueueRootDesc(d)
 	}
 	return nil
 }
@@ -247,10 +244,10 @@ func (s *Sim) RunToQuiescence() (PhaseStats, error) {
 	if s.finished {
 		return PhaseStats{}, errors.New("swarm: RunToQuiescence after Finish")
 	}
-	if s.m.QueuedTasks() == 0 {
-		return PhaseStats{}, fmt.Errorf("swarm: phase %d has no queued tasks; call Enqueue first", s.m.Phase()+1)
+	if s.b.QueuedTasks() == 0 {
+		return PhaseStats{}, fmt.Errorf("swarm: phase %d has no queued tasks; call Enqueue first", s.b.Phase()+1)
 	}
-	ph, err := s.m.RunPhase()
+	ph, err := s.b.RunPhase()
 	if err != nil {
 		return PhaseStats{}, err
 	}
@@ -261,7 +258,7 @@ func (s *Sim) RunToQuiescence() (PhaseStats, error) {
 // StatsSnapshot returns cumulative statistics at the session's current
 // quiescent point — a GVT-safe sample: every counted task has committed,
 // so the snapshot is exact, not speculative.
-func (s *Sim) StatsSnapshot() Stats { return s.m.Snapshot() }
+func (s *Sim) StatsSnapshot() Stats { return s.b.Snapshot() }
 
 // Phases returns the statistics of every completed phase, in order.
 func (s *Sim) Phases() []PhaseStats { return s.phases }
@@ -271,7 +268,7 @@ func (s *Sim) Phases() []PhaseStats { return s.phases }
 // further phases afterwards.
 func (s *Sim) Finish() Result {
 	s.finished = true
-	return Result{Stats: s.m.Snapshot(), mem: s.m.Mem()}
+	return Result{Stats: s.b.Snapshot(), mem: s.b.Mem()}
 }
 
 // Run executes the application on a machine with the given configuration,
