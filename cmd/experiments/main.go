@@ -29,7 +29,7 @@ import (
 )
 
 func main() {
-	scaleF := flag.String("scale", "small", "input scale: tiny, small, medium")
+	scaleF := flag.String("scale", "small", "input scale: tiny, small, medium, large")
 	maxCores := flag.Int("maxcores", 16, "largest machine (use 64 for the paper's setup)")
 	only := flag.String("only", "", "comma-separated subset: table1,table2,table4,table5,fig11-fig18,gvt,canary,mappers,phases")
 	mapper := flag.String("mapper", "",
@@ -187,7 +187,7 @@ func main() {
 	}
 	if enabled("fig13") {
 		step("Fig 13: silo warehouse sensitivity", func() error {
-			txns := map[harness.Scale]int{harness.ScaleTiny: 60, harness.ScaleSmall: 200, harness.ScaleMedium: 800}[scale]
+			txns := map[harness.Scale]int{harness.ScaleTiny: 60, harness.ScaleSmall: 200, harness.ScaleMedium: 800, harness.ScaleLarge: 800}[scale]
 			pts, err := s.Fig13([]int{16, 4, 1}, *maxCores, txns)
 			if err != nil {
 				return err

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	fingerprint [-scale tiny|small|medium] [-cores 1,4,16] [-apps all]
+//	fingerprint [-scale tiny|small|medium|large] [-cores 1,4,16] [-apps all]
 package main
 
 import (
@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	scaleFlag := flag.String("scale", "tiny", "input scale: tiny, small or medium")
+	scaleFlag := flag.String("scale", "tiny", "input scale: tiny, small, medium or large")
 	coresFlag := flag.String("cores", "1,4,16", "comma-separated core counts")
 	appsFlag := flag.String("apps", "all", "comma-separated app names, or all")
 	mapperFlag := flag.String("mapper", "random",

@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	scaleF := flag.String("scale", "small", "input scale: tiny, small, medium")
+	scaleF := flag.String("scale", "small", "input scale: tiny, small, medium, large")
 	maxTasks := flag.Int("maxtasks", 0, "bound the profiled task count (0 = all)")
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent per-app analyses on the host")
 	flag.Parse()

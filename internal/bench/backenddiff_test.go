@@ -30,7 +30,9 @@ import (
 // des, commit counts) across its own machine sizes for them. For those
 // apps the matrix instead asserts the serial reference plus the
 // runtimes' stronger determinism guarantee: identical final memory for
-// every worker count, which the simulator does not offer.
+// every worker count, which the simulator does not offer. dsssp sits in
+// between — its committed memory is tie-independent (and is held to the
+// full cross-backend comparison) but its committed-task count is not.
 //
 // Full mode runs every app x cores {1,4,16,64} x both runtimes; -short
 // trims to corner cells. Small machines additionally run with
@@ -42,6 +44,15 @@ var rtBackends = []string{"rt", "rt-conservative"}
 // tieSensitive marks apps whose committed memory legitimately depends
 // on the unspecified equal-timestamp commit order.
 var tieSensitive = map[string]bool{"msf": true, "kcore": true, "des": true}
+
+// tieCountSensitive marks apps whose committed memory is deterministic
+// but whose committed-task count varies benignly with the tie order:
+// delta-stepping coalesces a whole distance bucket onto one timestamp,
+// and whether an improvement's re-push is pruned depends on whether a
+// same-bucket handler for that vertex has already committed. Either way
+// some handler observes the improvement, so the final memory agrees —
+// only the number of handler entries differs.
+var tieCountSensitive = map[string]bool{"dsssp": true}
 
 // backendRun builds, runs and verifies app on the backend cfg selects,
 // returning the committed guest memory and cumulative stats.
@@ -97,7 +108,7 @@ func TestBackendDifferentialApps(t *testing.T) {
 							t.Fatalf("cores=%d %s: committed memory diverges from the simulator (%d vs %d nonzero words)",
 								cores, name, len(gotMem), len(simMem))
 						}
-						if gotStats.Commits != simStats.Commits {
+						if !tieCountSensitive[meta.Name] && gotStats.Commits != simStats.Commits {
 							t.Fatalf("cores=%d %s: %d commits, simulator committed %d",
 								cores, name, gotStats.Commits, simStats.Commits)
 						}

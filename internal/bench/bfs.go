@@ -32,6 +32,10 @@ func init() {
 			return NewBFS(40, 10)
 		case ScaleSmall:
 			return NewBFS(100, 12)
+		case ScaleLarge:
+			return NewBFSGraph(graph.MustLoad("trimesh-1600x24", func() *graph.Graph {
+				return graph.TriMesh(1600, 24)
+			}))
 		default:
 			return NewBFS(400, 18)
 		}
@@ -40,7 +44,12 @@ func init() {
 
 // NewBFS builds the benchmark on a rows x cols triangulated mesh.
 func NewBFS(rows, cols int) *BFS {
-	g := graph.TriMesh(rows, cols)
+	return NewBFSGraph(graph.TriMesh(rows, cols))
+}
+
+// NewBFSGraph builds the benchmark on an arbitrary graph (weights, if
+// any, are ignored).
+func NewBFSGraph(g *graph.Graph) *BFS {
 	return &BFS{g: g, src: 0, ref: graph.BFSLevels(g, 0)}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/swarm-sim/swarm/internal/core"
+	"github.com/swarm-sim/swarm/internal/frontier"
 	"github.com/swarm-sim/swarm/internal/graph"
 	"github.com/swarm-sim/swarm/internal/guest"
 	"github.com/swarm-sim/swarm/internal/smp"
@@ -42,6 +43,10 @@ func init() {
 			return NewColor(150, 600, 11)
 		case ScaleSmall:
 			return NewColor(800, 4000, 11)
+		case ScaleLarge:
+			return NewColorGraph(graph.MustLoad("random-16000-96000-s11", func() *graph.Graph {
+				return graph.Random(16000, 96000, 11)
+			}))
 		default:
 			return NewColor(4000, 24000, 11)
 		}
@@ -51,7 +56,13 @@ func init() {
 // NewColor builds the benchmark on a random connected graph with n nodes
 // and ~m arcs per direction.
 func NewColor(n, m int, seed int64) *Color {
-	g := graph.Random(n, m, seed)
+	return NewColorGraph(graph.Random(n, m, seed))
+}
+
+// NewColorGraph builds the benchmark on an arbitrary graph (weights, if
+// any, are ignored).
+func NewColorGraph(g *graph.Graph) *Color {
+	n := g.N
 	b := &Color{g: g}
 	// Largest-degree-first rank, ties by vertex id (deterministic).
 	b.order = make([]uint32, n)
@@ -198,27 +209,25 @@ func (b *Color) colorVertex(e guest.Env, g guestColor, v uint64, mask []uint64) 
 	g.col.Set(e, v, mex(mask))
 }
 
-// SwarmApp implements Benchmark: task = color(v), timestamp = rank(v).
-// Tasks read only earlier-ranked neighbors, so every conflict is a true
-// rank-order dependence; independent vertices color in parallel.
+// SwarmApp implements Benchmark: task = color(v), timestamp = rank(v),
+// seeded through the frontier's static-order spawner (the priority is the
+// precomputed Welsh–Powell rank, each vertex enters the frontier exactly
+// once). Tasks read only earlier-ranked neighbors, so every conflict is a
+// true rank-order dependence; independent vertices color in parallel.
 func (b *Color) SwarmApp() SwarmApp {
 	var g guestColor
 	app := SwarmApp{}
 	app.Build = func(ab *guest.AppBuild) []guest.TaskDesc {
 		g = b.pack(ab.Alloc, ab.Store)
 		var spawn, color guest.FnID
+		so := frontier.StaticOrder{Ord: g.ord}
 		spawn = ab.Fn("spawn", func(e guest.TaskEnv) {
-			spawnRangeTask(e, spawn, func(e guest.TaskEnv, r uint64) {
-				v := g.ord.Get(e, r)
-				e.Work(1)
-				// Spatial hint: the vertex — coloring reads its neighbor
-				// colors, which cluster by vertex id in the col array.
-				e.EnqueueHinted(color, r, v, [3]uint64{v})
-			})
+			frontier.SpawnRange(e, spawn, so.SpawnLeaf)
 		})
 		color = ab.Fn("color", func(e guest.TaskEnv) {
 			b.colorVertex(e, g, e.Arg(0), make([]uint64, b.words))
 		})
+		so.Fn = color
 		return []guest.TaskDesc{{Fn: spawn, TS: 0, Args: [3]uint64{0, uint64(b.g.N)}}}
 	}
 	app.Verify = func(load func(uint64) uint64) error { return b.verify(load, g) }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/swarm-sim/swarm/internal/core"
+	"github.com/swarm-sim/swarm/internal/frontier"
 	"github.com/swarm-sim/swarm/internal/graph"
 	"github.com/swarm-sim/swarm/internal/guest"
 	"github.com/swarm-sim/swarm/internal/smp"
@@ -38,6 +39,11 @@ func init() {
 			return NewKCore(7, 8, 9)
 		case ScaleSmall:
 			return NewKCore(9, 12, 9)
+		case ScaleLarge:
+			return NewKCoreGraph(graph.MustLoad("kron-14-16-s9", func() *graph.Graph {
+				n, edges := graph.Kronecker(14, 16, 9)
+				return graph.FromEdges(n, edges, true)
+			}))
 		default:
 			return NewKCore(11, 16, 9)
 		}
@@ -47,7 +53,11 @@ func init() {
 // NewKCore builds the benchmark on a Kronecker graph with 2^logN nodes.
 func NewKCore(logN, avgDeg int, seed int64) *KCore {
 	n, edges := graph.Kronecker(logN, avgDeg, seed)
-	g := graph.FromEdges(n, edges, true)
+	return NewKCoreGraph(graph.FromEdges(n, edges, true))
+}
+
+// NewKCoreGraph builds the benchmark on an arbitrary graph.
+func NewKCoreGraph(g *graph.Graph) *KCore {
 	return &KCore{g: g, ref: graph.CoreNumbers(g), maxDeg: uint64(g.MaxDegree())}
 }
 
@@ -69,70 +79,57 @@ func (b *KCore) verify(load func(uint64) uint64, gc graph.GuestCSR) error {
 	return nil
 }
 
-// SwarmApp implements Benchmark: task = peel(v), timestamp = peel level.
-// A spawner tree seeds one task per vertex at its initial degree; peeling
-// v at level k decrements each unpeeled neighbor w and re-enqueues it at
-// max(deg(w), k) — the lazy-bucket-update rule of priority-ordered
-// peeling. The earliest task to reach an unpeeled vertex carries its core
-// number; later (stale) entries see it peeled and retire.
+// SwarmApp implements Benchmark: task = peel(v), timestamp = peel level,
+// expressed on the bucketed-priority frontier (delta 1: exact degree
+// order). A spawner tree seeds one entry per vertex at its initial
+// degree; peeling v at level k decrements each unpeeled neighbor w and
+// Pushes it at its new degree — the frontier clamps the priority to the
+// current level and lazily prunes entries that cannot win. The earliest
+// entry to reach an unpeeled vertex settles its core number; stale
+// entries see it settled and retire.
 func (b *KCore) SwarmApp() SwarmApp {
 	var gc graph.GuestCSR
-	var swarmCoreAddr func(uint64) uint64 // set by Build; read by Verify
+	var fr *frontier.Frontier // set by Build; read by Verify
 	app := SwarmApp{}
 	app.Build = func(ab *guest.AppBuild) []guest.TaskDesc {
 		alloc, store := ab.Alloc, ab.Store
 		gc = graph.Pack(b.g, alloc, store)
 		var spawn, peel, relax, decr guest.FnID
 		// Conflict detection is line-granular, and the peel's per-vertex
-		// state — core number, degree counter, earliest pending entry —
-		// is its entire hot set (one read-modify-write per removed edge):
-		// lay all three out on one private line per vertex so only true
-		// per-vertex dependences conflict. The pending-entry word prunes
-		// re-enqueues that could never win (lazy bucket update).
+		// state — core number (frontier value), degree counter (aux),
+		// earliest pending entry (best) — is its entire hot set (one
+		// read-modify-write per removed edge): the frontier lays all three
+		// out on one private line per vertex so only true per-vertex
+		// dependences conflict.
 		n := uint64(b.g.N)
-		stBase := alloc(n * 64)
-		coreAddr := func(v uint64) uint64 { return stBase + v*64 }
-		degAddr := func(v uint64) uint64 { return stBase + v*64 + 8 }
-		bestAddr := func(v uint64) uint64 { return stBase + v*64 + 16 }
+		fr = frontier.New(alloc, n, 1)
 		for v := uint64(0); v < n; v++ {
 			d := uint64(b.g.Degree(int(v)))
-			store(coreAddr(v), graph.Unvisited)
-			store(degAddr(v), d)
-			store(bestAddr(v), d) // the spawner enqueues the root entry at d
+			// best = d: the spawner seeds the root entry at d.
+			fr.Init(store, v, frontier.Unsettled, d, d)
 		}
 		spawn = ab.Fn("spawn", func(e guest.TaskEnv) {
-			spawnRangeTask(e, spawn, func(e guest.TaskEnv, i uint64) {
-				d := e.Load(degAddr(i))
+			frontier.SpawnRange(e, spawn, func(e guest.TaskEnv, i uint64) {
+				d := fr.Aux(e, i)
 				e.Work(1)
-				// Spatial hint: the vertex — its peel entries and per-vertex
-				// state line share a home tile under hint-based mappers. The
-				// low bit namespaces vertex keys from arc-block keys.
-				e.EnqueueHinted(peel, d, i<<1, [3]uint64{i})
+				fr.Seed(e, i, d)
 			})
 		})
 		// decrement(i) removes arc i's edge from its target: a tiny task
 		// whose footprint is one arc word plus one vertex line, so an
 		// abort squashes a single edge removal, not a whole
-		// neighborhood. It re-enqueues the target's peel entry when the
+		// neighborhood. Push re-enqueues the target's peel entry when the
 		// new (degree, level) priority beats every pending one.
 		// (Registered below, after peel/relax, to keep the table order.)
 		decrBody := func(e guest.TaskEnv) {
 			w := e.Load(gc.DstAddr(e.Arg(0)))
 			e.Work(2)
-			if e.Load(coreAddr(w)) != graph.Unvisited {
+			if fr.Value(e, w) != frontier.Unsettled {
 				return // edge already removed with w
 			}
-			d := e.Load(degAddr(w)) - 1
-			e.Store(degAddr(w), d)
-			ts := d
-			k := e.Timestamp()
-			if ts < k {
-				ts = k
-			}
-			if ts < e.Load(bestAddr(w)) {
-				e.Store(bestAddr(w), ts)
-				e.EnqueueHinted(peel, ts, w<<1, [3]uint64{w})
-			}
+			d := fr.Aux(e, w) - 1
+			fr.SetAux(e, w, d)
+			fr.Push(e, w, d)
 		}
 		// relaxArcs fans arcs [lo, hi) out as decrement tasks at the
 		// current level, seven at a time plus a continuation — Kronecker
@@ -154,12 +151,10 @@ func (b *KCore) SwarmApp() SwarmApp {
 			}
 		}
 		peel = ab.Fn("peel", func(e guest.TaskEnv) {
-			v := e.Arg(0)
-			e.Work(2)
-			if e.Load(coreAddr(v)) != graph.Unvisited {
+			v, settled := fr.TrySettle(e)
+			if !settled {
 				return // already peeled at an earlier level
 			}
-			e.Store(coreAddr(v), e.Timestamp())
 			lo := e.Load(gc.OffAddr(v))
 			hi := e.Load(gc.OffAddr(v + 1))
 			e.Work(6) // removal bookkeeping
@@ -171,12 +166,12 @@ func (b *KCore) SwarmApp() SwarmApp {
 			relaxArcs(e, e.Arg(0), e.Arg(1))
 		})
 		decr = ab.Fn("decrement", decrBody)
-		swarmCoreAddr = coreAddr
+		fr.Fn = peel
 		return []guest.TaskDesc{{Fn: spawn, TS: 0, Args: [3]uint64{0, uint64(b.g.N)}}}
 	}
 	app.Verify = func(load func(uint64) uint64) error {
 		for v := 0; v < b.g.N; v++ {
-			if got := load(swarmCoreAddr(uint64(v))); got != b.ref[v] {
+			if got := load(fr.ValueAddr(uint64(v))); got != b.ref[v] {
 				return fmt.Errorf("kcore: core[%d] = %d, want %d", v, got, b.ref[v])
 			}
 		}

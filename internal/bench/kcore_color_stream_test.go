@@ -170,7 +170,7 @@ func TestStreamWindowTotals(t *testing.T) {
 // followed by the later additions.
 func TestRegistryOrder(t *testing.T) {
 	names := AppNames()
-	want := []string{"bfs", "sssp", "astar", "msf", "des", "silo", "kcore", "color", "stream", "incsssp"}
+	want := []string{"bfs", "sssp", "astar", "msf", "des", "silo", "kcore", "color", "stream", "incsssp", "dsssp", "setcover"}
 	if len(names) != len(want) {
 		t.Fatalf("registered %v, want %v", names, want)
 	}

@@ -7,20 +7,25 @@ import (
 )
 
 // Scale selects input sizes: Tiny for unit tests, Small for the bench
-// harness, Medium for cmd/experiments runs (minutes). Each registered
-// application maps a Scale to concrete input parameters that keep the
-// structural properties driving its behaviour (deep mesh, road network,
-// skewed Kronecker graph, chained adder array, TPC-C mix, ...).
+// harness, Medium for cmd/experiments runs (minutes), Large for real or
+// cached on-disk inputs (graph apps load DIMACS/SNAP files when present —
+// see internal/graph's input resolution — and fall back to a generated,
+// disk-cached graph of comparable size). Each registered application maps
+// a Scale to concrete input parameters that keep the structural
+// properties driving its behaviour (deep mesh, road network, skewed
+// Kronecker graph, chained adder array, TPC-C mix, ...). Apps without a
+// dedicated large input treat Large as Medium.
 type Scale int
 
 const (
 	ScaleTiny Scale = iota
 	ScaleSmall
 	ScaleMedium
+	ScaleLarge
 )
 
 func (s Scale) String() string {
-	return [...]string{"tiny", "small", "medium"}[s]
+	return [...]string{"tiny", "small", "medium", "large"}[s]
 }
 
 // ParseScale maps a -scale flag value to a Scale.
@@ -32,8 +37,10 @@ func ParseScale(name string) (Scale, error) {
 		return ScaleSmall, nil
 	case "medium":
 		return ScaleMedium, nil
+	case "large":
+		return ScaleLarge, nil
 	}
-	return 0, fmt.Errorf("unknown scale %q (want tiny, small or medium)", name)
+	return 0, fmt.Errorf("unknown scale %q (want tiny, small, medium or large)", name)
 }
 
 // AppMeta is the registry's per-application metadata, available without

@@ -32,6 +32,10 @@ func init() {
 			return NewSSSP(16, 16, 3)
 		case ScaleSmall:
 			return NewSSSP(36, 36, 3)
+		case ScaleLarge:
+			return NewSSSPGraph(graph.MustLoad("roadnet-320x320-s3", func() *graph.Graph {
+				return graph.RoadNet(320, 320, 3)
+			}))
 		default:
 			return NewSSSP(80, 80, 3)
 		}
@@ -40,7 +44,13 @@ func init() {
 
 // NewSSSP builds the benchmark on a rows x cols road network.
 func NewSSSP(rows, cols int, seed int64) *SSSP {
-	g := graph.RoadNet(rows, cols, seed)
+	return NewSSSPGraph(graph.RoadNet(rows, cols, seed))
+}
+
+// NewSSSPGraph builds the benchmark on an arbitrary weighted graph
+// (unweighted real inputs get unit weights).
+func NewSSSPGraph(g *graph.Graph) *SSSP {
+	g.EnsureWeights()
 	return &SSSP{g: g, src: 0, ref: graph.Dijkstra(g, 0)}
 }
 

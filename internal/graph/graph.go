@@ -52,6 +52,11 @@ func (g *Graph) Validate() error {
 	if len(g.Offsets) != g.N+1 {
 		return fmt.Errorf("graph: offsets length %d, want %d", len(g.Offsets), g.N+1)
 	}
+	// Offsets are uint32: a Dst array past 2^32 arcs cannot be indexed by
+	// them, so the CSR is corrupt no matter what the offsets say.
+	if err := ValidateArcCount(uint64(len(g.Dst))); err != nil {
+		return err
+	}
 	if g.Offsets[0] != 0 || int(g.Offsets[g.N]) != len(g.Dst) {
 		return fmt.Errorf("graph: offset bounds wrong")
 	}
@@ -77,9 +82,44 @@ type Edge struct {
 	W    uint32
 }
 
-// FromEdges builds a CSR graph from an edge list; when undirected, both
-// arc directions are stored.
+// MaxArcs is the largest directed arc count a CSR graph can hold: offsets
+// are uint32, so one more arc would make the CSR silently self-inconsistent.
+const MaxArcs = uint64(1)<<32 - 1
+
+// ValidateArcCount checks that a directed arc count fits the uint32 CSR
+// offsets. Loaders call it before building, so an oversized input fails
+// with this error instead of wrapping into a corrupt graph.
+func ValidateArcCount(arcs uint64) error {
+	if arcs > MaxArcs {
+		return fmt.Errorf("graph: %d directed arcs exceed the uint32 CSR offset capacity (%d)", arcs, MaxArcs)
+	}
+	return nil
+}
+
+// FromEdges builds a weighted CSR graph from an edge list; when
+// undirected, both arc directions are stored. The arc count must fit the
+// uint32 offsets (loaders pre-check with ValidateArcCount; generator
+// callers cannot exceed it, so an overflow here panics).
 func FromEdges(n int, edges []Edge, undirected bool) *Graph {
+	return fromEdges(n, edges, undirected, true)
+}
+
+// FromEdgesUnweighted is FromEdges for unweighted graphs: per the Graph
+// contract, W stays nil and edge weights are ignored.
+func FromEdgesUnweighted(n int, edges []Edge, undirected bool) *Graph {
+	return fromEdges(n, edges, undirected, false)
+}
+
+func fromEdges(n int, edges []Edge, undirected, weighted bool) *Graph {
+	// Count arcs in uint64 first: with ~2^31 undirected edges the doubled
+	// arc count wraps uint32 and the per-node prefix sums go quietly wrong.
+	arcs := uint64(len(edges))
+	if undirected {
+		arcs *= 2
+	}
+	if err := ValidateArcCount(arcs); err != nil {
+		panic(err)
+	}
 	deg := make([]uint32, n+1)
 	count := func(u uint32) { deg[u+1]++ }
 	for _, e := range edges {
@@ -95,13 +135,17 @@ func FromEdges(n int, edges []Edge, undirected bool) *Graph {
 		N:       n,
 		Offsets: deg,
 		Dst:     make([]uint32, int(deg[n])),
-		W:       make([]uint32, int(deg[n])),
+	}
+	if weighted {
+		g.W = make([]uint32, int(deg[n]))
 	}
 	fill := make([]uint32, n)
 	put := func(u, v, w uint32) {
 		i := g.Offsets[u] + fill[u]
 		g.Dst[i] = v
-		g.W[i] = w
+		if weighted {
+			g.W[i] = w
+		}
 		fill[u]++
 	}
 	for _, e := range edges {
@@ -124,17 +168,19 @@ func TriMesh(rows, cols int) *Graph {
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			if c+1 < cols {
-				edges = append(edges, Edge{id(r, c), id(r, c+1), 1})
+				edges = append(edges, Edge{id(r, c), id(r, c+1), 0})
 			}
 			if r+1 < rows {
-				edges = append(edges, Edge{id(r, c), id(r+1, c), 1})
+				edges = append(edges, Edge{id(r, c), id(r+1, c), 0})
 			}
 			if r+1 < rows && c+1 < cols {
-				edges = append(edges, Edge{id(r, c), id(r+1, c+1), 1})
+				edges = append(edges, Edge{id(r, c), id(r+1, c+1), 0})
 			}
 		}
 	}
-	return FromEdges(rows*cols, edges, true)
+	// The mesh is unweighted (BFS input): per the Graph contract W stays
+	// nil, so packing it wastes no guest memory on a dummy weight array.
+	return FromEdgesUnweighted(rows*cols, edges, true)
 }
 
 // coordScale converts unit grid distance to integer weight units; weights
@@ -202,7 +248,15 @@ func Kronecker(logN, avgDeg int, seed int64) (int, []Edge) {
 	target := n * avgDeg / 2
 	seen := make(map[uint64]bool, target)
 	edges := make([]Edge, 0, target)
-	for len(edges) < target {
+	// R-MAT sampling rejects self-loops and duplicates, so when target
+	// approaches the number of distinct pairs the skewed distribution can
+	// reach (small logN, high avgDeg), the accept rate goes to zero and an
+	// unbounded loop never terminates. Bound the draws generously — real
+	// configurations accept well over 1-in-64 — and return the edges found.
+	attempts := 0
+	maxAttempts := 64*target + 4096
+	for len(edges) < target && attempts < maxAttempts {
+		attempts++
 		u, v := 0, 0
 		for i := 0; i < logN; i++ {
 			p := rng.Float64()
@@ -258,6 +312,19 @@ func Random(n, m int, seed int64) *Graph {
 // ---------------------------------------------------------------------------
 // Host-side reference algorithms (ground truth for verification).
 // ---------------------------------------------------------------------------
+
+// EnsureWeights gives an unweighted graph unit arc weights, so weighted
+// kernels (shortest paths) can run on unweighted real inputs (SNAP edge
+// lists). Weighted graphs are untouched.
+func (g *Graph) EnsureWeights() {
+	if g.W != nil {
+		return
+	}
+	g.W = make([]uint32, len(g.Dst))
+	for i := range g.W {
+		g.W[i] = 1
+	}
+}
 
 // Inf marks an unreached node in distance arrays.
 const Inf = ^uint64(0)

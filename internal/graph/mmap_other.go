@@ -1,0 +1,15 @@
+//go:build !unix
+
+package graph
+
+import "os"
+
+// OpenCSR reads an on-disk CSR file. Platforms without syscall.Mmap get
+// the portable copying decode; the unix build maps the file instead.
+func OpenCSR(path string) (*Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return decodeCSR(data, false)
+}

@@ -1,0 +1,46 @@
+//go:build unix
+
+package graph
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// OpenCSR maps an on-disk CSR file and returns a Graph whose arrays alias
+// the mapping — no parse, no copy; startup cost is page faults on first
+// touch. Input graphs are immutable and live for the whole run, so the
+// mapping is kept for the process lifetime (there is nothing to close).
+// Big-endian hosts fall back to a copying read.
+func OpenCSR(path string) (*Graph, error) {
+	if !hostLittleEndian() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return decodeCSR(data, false)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() == 0 {
+		return nil, fmt.Errorf("graph: %s: empty on-disk CSR", path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, fmt.Errorf("graph: mmap %s: %w", path, err)
+	}
+	g, err := decodeCSR(data, true)
+	if err != nil {
+		syscall.Munmap(data)
+		return nil, err
+	}
+	return g, nil
+}

@@ -28,6 +28,7 @@ const (
 	ScaleTiny   = bench.ScaleTiny
 	ScaleSmall  = bench.ScaleSmall
 	ScaleMedium = bench.ScaleMedium
+	ScaleLarge  = bench.ScaleLarge
 )
 
 // ParseScale maps a -scale flag value to a Scale.

@@ -36,7 +36,8 @@ func TestValidateFlags(t *testing.T) {
 		{"scale", "tiny", false, nil},
 		{"scale", "small", false, nil},
 		{"scale", "medium", false, nil},
-		{"scale", "large", true, []string{`unknown scale "large"`, "tiny", "small", "medium"}},
+		{"scale", "large", false, nil},
+		{"scale", "huge", true, []string{`unknown scale "huge"`, "tiny", "small", "medium", "large"}},
 
 		// -backend
 		{"backend", "", false, nil}, // default simulator

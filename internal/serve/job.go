@@ -19,7 +19,7 @@ import (
 type JobSpec struct {
 	// App is a registered benchmark name (GET /apps enumerates them).
 	App string `json:"app"`
-	// Scale is the input scale: tiny, small or medium (default small).
+	// Scale is the input scale: tiny, small, medium or large (default small).
 	Scale string `json:"scale,omitempty"`
 	// Cores sizes the machine: 1-4 or a multiple of 4 (default 64).
 	Cores int `json:"cores,omitempty"`
