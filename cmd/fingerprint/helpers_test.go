@@ -1,0 +1,14 @@
+package main
+
+import "testing"
+
+func TestSortStrings(t *testing.T) {
+	in := []string{"sim", "rt", "rt-conservative"}
+	got := sortStrings(in)
+	if got[0] != "rt" || got[1] != "rt-conservative" || got[2] != "sim" {
+		t.Fatalf("sortStrings = %v", got)
+	}
+	if in[0] != "sim" {
+		t.Fatal("sortStrings mutated its input")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"hash"
 	"hash/fnv"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -45,7 +46,7 @@ func main() {
 		fatal(err)
 	}
 	if !core.ValidBackend(*backendFlag) {
-		fatal(fmt.Errorf("unknown backend %q (valid: %s)", *backendFlag, strings.Join(core.BackendNames(), ", ")))
+		fatal(fmt.Errorf("unknown backend %q (valid: %s)", *backendFlag, strings.Join(sortStrings(core.BackendNames()), ", ")))
 	}
 	var cores []int
 	for _, f := range strings.Split(*coresFlag, ",") {
@@ -79,6 +80,14 @@ func main() {
 			}
 		}
 	}
+}
+
+// sortStrings returns a sorted copy for alphabetical option lists in
+// error messages.
+func sortStrings(names []string) []string {
+	s := append([]string(nil), names...)
+	sort.Strings(s)
+	return s
 }
 
 // tagSimWorkers marks digest lines produced by a tile-parallel machine

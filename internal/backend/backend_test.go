@@ -126,7 +126,7 @@ func TestSharedConfigValidation(t *testing.T) {
 	cfg := config("turbo")
 	_, err := New(cfg, counterBuild(1))
 	if err == nil || !strings.Contains(err.Error(), `unknown backend "turbo"`) ||
-		!strings.Contains(err.Error(), "sim, rt, rt-conservative") {
+		!strings.Contains(err.Error(), "rt, rt-conservative, sim") {
 		t.Errorf("unknown backend err = %v, want valid options listed", err)
 	}
 }

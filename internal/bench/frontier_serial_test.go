@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"testing"
+)
+
+// The frontier-native apps' tuned-serial flavors: sequential Dijkstra
+// (dsssp) and the lazy-greedy heap loop (setcover), verified against the
+// same host references as the Swarm flavors.
+
+func TestDSSSPSerial(t *testing.T) {
+	b, err := New("dsssp", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc, err := b.RunSerial(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cyc == 0 {
+		t.Fatal("no cycles")
+	}
+	if b.HasParallel() {
+		t.Fatal("dsssp should not declare a software-parallel version")
+	}
+	if _, err := b.RunParallel(4); err == nil {
+		t.Fatal("RunParallel should fail")
+	}
+}
+
+func TestSetCoverSerial(t *testing.T) {
+	b, err := New("setcover", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc, err := b.RunSerial(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cyc == 0 {
+		t.Fatal("no cycles")
+	}
+	if b.HasParallel() {
+		t.Fatal("setcover should not declare a software-parallel version")
+	}
+	if _, err := b.RunParallel(4); err == nil {
+		t.Fatal("RunParallel should fail")
+	}
+}

@@ -170,7 +170,7 @@ func TestStreamWindowTotals(t *testing.T) {
 // followed by the later additions.
 func TestRegistryOrder(t *testing.T) {
 	names := AppNames()
-	want := []string{"bfs", "sssp", "astar", "msf", "des", "silo", "kcore", "color", "stream", "incsssp", "dsssp", "setcover"}
+	want := []string{"bfs", "sssp", "astar", "msf", "des", "silo", "kcore", "color", "stream", "incsssp", "dsssp", "setcover", "msort", "treebuild"}
 	if len(names) != len(want) {
 		t.Fatalf("registered %v, want %v", names, want)
 	}
@@ -200,8 +200,15 @@ func TestRegistryMetadata(t *testing.T) {
 }
 
 func TestRegistryUnknownApp(t *testing.T) {
-	if _, err := New("nosuch", ScaleTiny); err == nil {
+	_, err := New("nosuch", ScaleTiny)
+	if err == nil {
 		t.Fatal("New should fail for an unregistered app")
+	}
+	// The message lists the registered apps alphabetically (the registry
+	// itself stays in suite order); pinned so new registrations keep it.
+	want := `bench: unknown app "nosuch" (registered: astar, bfs, color, des, dsssp, incsssp, kcore, msf, msort, setcover, silo, sssp, stream, treebuild)`
+	if got := err.Error(); got != want {
+		t.Fatalf("error text:\n got: %s\nwant: %s", got, want)
 	}
 	if _, ok := Lookup("nosuch"); ok {
 		t.Fatal("Lookup should miss for an unregistered app")

@@ -134,8 +134,10 @@ func Lookup(name string) (AppMeta, bool) {
 func New(name string, s Scale) (Benchmark, error) {
 	e, ok := registry[name]
 	if !ok {
+		sorted := append([]string(nil), AppNames()...)
+		sort.Strings(sorted)
 		return nil, fmt.Errorf("bench: unknown app %q (registered: %s)",
-			name, strings.Join(AppNames(), ", "))
+			name, strings.Join(sorted, ", "))
 	}
 	return e.mk(s), nil
 }

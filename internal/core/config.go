@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"github.com/swarm-sim/swarm/internal/bloom"
@@ -116,6 +117,14 @@ type Config struct {
 // BackendNames lists the valid Config.Backend values, default first.
 func BackendNames() []string { return []string{"sim", "rt", "rt-conservative"} }
 
+// sortedNames joins a name list alphabetically for error messages (the
+// registries themselves stay in semantic order, default first).
+func sortedNames(names []string) string {
+	s := append([]string(nil), names...)
+	sort.Strings(s)
+	return strings.Join(s, ", ")
+}
+
 // ValidBackend reports whether name selects a known execution backend
 // ("" selects the default simulator and is valid).
 func ValidBackend(name string) bool {
@@ -185,7 +194,7 @@ func (c *Config) validate() error {
 		return fmt.Errorf("core: invalid machine size %dx%d", c.Tiles, c.CoresPerTile)
 	}
 	if !ValidBackend(c.Backend) {
-		return fmt.Errorf("core: unknown backend %q (valid: %s)", c.Backend, strings.Join(BackendNames(), ", "))
+		return fmt.Errorf("core: unknown backend %q (valid: %s)", c.Backend, sortedNames(BackendNames()))
 	}
 	if !c.UnboundedQueues {
 		if c.TaskQPerTile() < 2*c.SpillBatch {

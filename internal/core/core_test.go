@@ -7,6 +7,7 @@ import (
 	"github.com/swarm-sim/swarm/internal/bloom"
 	"github.com/swarm-sim/swarm/internal/cache"
 	"github.com/swarm-sim/swarm/internal/guest"
+	"github.com/swarm-sim/swarm/internal/tsdom"
 )
 
 // runProgram builds and runs a machine, failing the test on error.
@@ -305,14 +306,20 @@ func chaosTask(seed, pool uint64, poolWords int) guest.TaskFn {
 	return fn
 }
 
-// refHeap orders descriptors by timestamp for the reference executor.
+// refHeap orders descriptors by (timestamp, nested path) for the
+// reference executor.
 type refHeap []guest.TaskDesc
 
-func (h refHeap) Len() int           { return len(h) }
-func (h refHeap) Less(i, j int) bool { return h[i].TS < h[j].TS }
-func (h refHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *refHeap) Push(x any)        { *h = append(*h, x.(guest.TaskDesc)) }
-func (h *refHeap) Pop() any          { old := *h; n := len(old); d := old[n-1]; *h = old[:n-1]; return d }
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].TS != h[j].TS {
+		return h[i].TS < h[j].TS
+	}
+	return tsdom.Less(h[i].Path, h[j].Path)
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(guest.TaskDesc)) }
+func (h *refHeap) Pop() any     { old := *h; n := len(old); d := old[n-1]; *h = old[:n-1]; return d }
 
 // refEnv executes tasks sequentially against a map memory.
 type refEnv struct {
@@ -321,6 +328,7 @@ type refEnv struct {
 	desc  guest.TaskDesc
 	brk   uint64
 	tasks int
+	forks uint64
 }
 
 func (r *refEnv) Load(a uint64) uint64  { return r.mem[a] }
@@ -342,6 +350,17 @@ func (r *refEnv) EnqueueArgs(fn guest.FnID, ts uint64, args [3]uint64) {
 
 func (r *refEnv) EnqueueHinted(fn guest.FnID, ts uint64, _ uint64, args [3]uint64) {
 	r.EnqueueArgs(fn, ts, args) // the reference executor has no tiles
+}
+
+func (r *refEnv) Fork(fn guest.FnID, args ...uint64) {
+	var a [3]uint64
+	copy(a[:], args)
+	r.EnqueueSub(fn, guest.NoHint, a)
+}
+
+func (r *refEnv) EnqueueSub(fn guest.FnID, _ uint64, args [3]uint64) {
+	r.forks++
+	heap.Push(r.queue, guest.TaskDesc{Fn: fn, TS: r.desc.TS, Path: r.desc.Path.Child(r.forks - 1), Args: args})
 }
 
 func runReference(fn guest.TaskFn, roots []guest.TaskDesc, brk uint64) (map[uint64]uint64, int) {

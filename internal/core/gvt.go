@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/swarm-sim/swarm/internal/noc"
+	"github.com/swarm-sim/swarm/internal/tsdom"
 	"github.com/swarm-sim/swarm/internal/vt"
 )
 
@@ -70,12 +71,50 @@ func (m *Machine) gvtRound() {
 	}
 	m.st.occSamples++
 
+	prevCommits := m.st.commits
 	m.commitRound(gvt)
+	if m.st.commits != prevCommits {
+		m.dryRounds = 0
+	} else if m.dryRounds++; m.dryRounds >= rescueDryRounds {
+		m.dryRounds = 0
+		for _, tt := range m.tiles {
+			m.rescueOverflow(tt)
+		}
+	}
 	for _, tt := range m.tiles {
 		m.unblockTile(tt, now)
 	}
 
 	m.eng.After(m.cfg.GVTPeriod, m.gvtFn)
+}
+
+// rescueDryRounds is the liveness backstop's trigger: after this many
+// consecutive GVT rounds without a single commit machine-wide, overflow
+// heads that precede their tile's resident work are re-materialized. The
+// threshold (~50k cycles at the default 200-cycle period) is far beyond
+// any commit gap a healthy run shows, so the backstop never perturbs
+// normal execution — the golden fingerprint corpus pins that.
+const rescueDryRounds = 256
+
+// rescueOverflow re-materializes overflowed descriptors, but only when
+// the overflow head precedes every idle task on the tile — the state
+// where the tile's commits (and with them the freeSlot-triggered drains
+// that normally empty overflow) can be gated on the overflow head
+// itself, wedging the machine. Flat timestamps cannot stay wedged this
+// way (spills pick the latest work, so the head trails the hardware
+// queue and same-slot bounds break on cycle), but nested fork paths can:
+// a spilled or setup-overflowed descriptor whose path precedes
+// everything resident blocks the GVT until it is drained, and with all
+// cores stalled behind full commit queues no freeSlot event ever comes.
+// The dry-round counter in gvtRound makes this the guaranteed retry.
+func (m *Machine) rescueOverflow(tt *tile) {
+	if len(tt.overflow) == 0 {
+		return
+	}
+	if minIdle := tt.idleQ.Min(); minIdle != nil && !descLater(minIdle.desc, tt.overflow[0]) {
+		return // resident work is at or before the head; normal drains suffice
+	}
+	m.drainOverflow(tt)
 }
 
 // unblockTile enforces the §4.7 progress rule from the arbiter's side:
@@ -125,11 +164,14 @@ func (m *Machine) unblockTile(tt *tile, now uint64) {
 
 // descBoundVT is the GVT bound of a memory-resident task descriptor owned
 // by a tile — idle tasks, overflow buffers, coalescer batches and spilled
-// batches all bound as (timestamp, now, owning tile) (§4.6). Every bound
-// comparison (tileMinVT, the commit-order assertion) must build bounds
-// through this one helper so ties break identically everywhere.
-func descBoundVT(ts, now uint64, tile int) vt.Time {
-	return vt.Time{TS: ts, Cycle: now, Tile: uint32(tile)}
+// batches all bound as (timestamp, path, now, owning tile) (§4.6). Every
+// bound comparison (tileMinVT, the commit-order assertion) must build
+// bounds through this one helper so ties break identically everywhere.
+// The descriptor's nested path is part of the bound: dropping it would
+// round a pathed descriptor down to its slot's root and falsely order it
+// before same-slot tasks it actually follows.
+func descBoundVT(ts uint64, path tsdom.Path, now uint64, tile int) vt.Time {
+	return vt.Time{TS: ts, Path: path, Cycle: now, Tile: uint32(tile)}
 }
 
 // tileMinVT computes the smallest virtual time of any unfinished task in
@@ -145,13 +187,13 @@ func (m *Machine) tileMinVT(tt *tile, now uint64) vt.Time {
 		}
 	}
 	if t := tt.idleQ.Min(); t != nil {
-		minV = vt.Min(minV, descBoundVT(t.desc.TS, now, tt.id))
+		minV = vt.Min(minV, descBoundVT(t.desc.TS, t.desc.Path, now, tt.id))
 	}
 	if len(tt.overflow) > 0 {
-		minV = vt.Min(minV, descBoundVT(tt.overflow[0].TS, now, tt.id))
+		minV = vt.Min(minV, descBoundVT(tt.overflow[0].TS, tt.overflow[0].Path, now, tt.id))
 	}
 	if tt.coalescerLive {
-		minV = vt.Min(minV, descBoundVT(tt.coalescerTS, now, tt.id))
+		minV = vt.Min(minV, descBoundVT(tt.coalescerTS, tt.coalescerPath, now, tt.id))
 	}
 	return minV
 }
@@ -239,12 +281,12 @@ func (m *Machine) assertCommitOrder(t *task) {
 			}
 		}
 		for _, d := range tt.overflow {
-			if descBoundVT(d.TS, now, tt.id).Less(t.vt) {
-				panic(fmt.Sprintf("core: committing %v but overflow ts=%d could precede it", t.vt, d.TS))
+			if descBoundVT(d.TS, d.Path, now, tt.id).Less(t.vt) {
+				panic(fmt.Sprintf("core: committing %v but overflow ts=%d path=%s could precede it", t.vt, d.TS, d.Path))
 			}
 		}
 		if tt.coalescerLive {
-			if descBoundVT(tt.coalescerTS, now, tt.id).Less(t.vt) {
+			if descBoundVT(tt.coalescerTS, tt.coalescerPath, now, tt.id).Less(t.vt) {
 				panic(fmt.Sprintf("core: committing %v but coalescer batch ts=%d could precede it", t.vt, tt.coalescerTS))
 			}
 		}
@@ -256,8 +298,8 @@ func (m *Machine) assertCommitOrder(t *task) {
 	}
 	for _, b := range m.spillStore {
 		for _, d := range b.descs {
-			if descBoundVT(d.TS, now, b.tile).Less(t.vt) {
-				panic(fmt.Sprintf("core: committing %v but spilled ts=%d could precede it", t.vt, d.TS))
+			if descBoundVT(d.TS, d.Path, now, b.tile).Less(t.vt) {
+				panic(fmt.Sprintf("core: committing %v but spilled ts=%d path=%s could precede it", t.vt, d.TS, d.Path))
 			}
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"github.com/swarm-sim/swarm/internal/mem"
 	"github.com/swarm-sim/swarm/internal/noc"
 	"github.com/swarm-sim/swarm/internal/sim"
+	"github.com/swarm-sim/swarm/internal/tsdom"
 	"github.com/swarm-sim/swarm/internal/vt"
 )
 
@@ -96,7 +97,8 @@ type tile struct {
 	everDequeued  bool
 	stalledCores  []int
 	coalescing    bool
-	coalescerTS   uint64 // min timestamp of an in-flight coalescer batch
+	coalescerTS   uint64     // min timestamp of an in-flight coalescer batch
+	coalescerPath tsdom.Path // nested path paired with coalescerTS
 	coalescerLive bool
 	spillWanted   bool
 	commitsCount  uint64 // per-tile, for tracing
@@ -122,6 +124,10 @@ type Machine struct {
 	tokCtr   uint64
 	batchCtr uint64
 	qSeqCtr  uint64
+
+	// dryRounds counts consecutive GVT rounds without a commit — the
+	// trigger for the overflow liveness backstop (see rescueOverflow).
+	dryRounds uint64
 
 	spillStore map[uint64]spillBatch
 
@@ -668,7 +674,7 @@ func (m *Machine) drainOverflow(tt *tile) {
 		belowLimit := m.cfg.UnboundedQueues || tt.nTasks < spillLimit
 		if !belowLimit {
 			minIdle := tt.idleQ.Min()
-			if minIdle != nil && minIdle.desc.TS <= tt.overflow[0].TS {
+			if minIdle != nil && !descLater(minIdle.desc, tt.overflow[0]) {
 				return // head is already in hardware; wait for room
 			}
 		}
@@ -768,7 +774,7 @@ func (m *Machine) dispatch(c *cpu) {
 	t.core = c.id
 	t.lastCore = c.id
 	c.task = t
-	t.vt = descBoundVT(t.desc.TS, now, tt.id)
+	t.vt = descBoundVT(t.desc.TS, t.desc.Path, now, tt.id)
 	if t.spec() {
 		m.assignSlot(tt, t)
 	}

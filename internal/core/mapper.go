@@ -54,7 +54,7 @@ func newMapper(name string) (mapper, error) {
 	case "stealing":
 		return &stealingMapper{}, nil
 	}
-	return nil, fmt.Errorf("core: unknown mapper %q (want one of %v)", name, MapperNames())
+	return nil, fmt.Errorf("core: unknown mapper %q (valid: %s)", name, sortedNames(MapperNames()))
 }
 
 // randomMapper reproduces the paper's uniform-random enqueue placement.

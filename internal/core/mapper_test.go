@@ -21,6 +21,15 @@ func TestNewMapperNames(t *testing.T) {
 	}
 	if _, err := newMapper("bogus"); err == nil {
 		t.Error("newMapper(bogus) should fail")
+	} else if want := `core: unknown mapper "bogus" (valid: hint, random, roundrobin, stealing)`; err.Error() != want {
+		t.Errorf("error text:\n got: %s\nwant: %s", err, want)
+	}
+	badCfg := DefaultConfig(4)
+	badCfg.Backend = "native"
+	if err := badCfg.validate(); err == nil {
+		t.Error("backend=native should fail validation")
+	} else if want := `core: unknown backend "native" (valid: rt, rt-conservative, sim)`; err.Error() != want {
+		t.Errorf("error text:\n got: %s\nwant: %s", err, want)
 	}
 	// LocalEnqueue is a random-policy ablation: pairing it with any other
 	// mapper must be rejected, not silently ignored.

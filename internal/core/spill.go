@@ -6,7 +6,25 @@ import (
 
 	"github.com/swarm-sim/swarm/internal/guest"
 	"github.com/swarm-sim/swarm/internal/noc"
+	"github.com/swarm-sim/swarm/internal/tsdom"
 )
+
+// descCompare orders two task descriptors by (timestamp, nested path) —
+// the descriptor-level prefix of the virtual-time order, used wherever
+// descriptors are ranked before they have a virtual time (spill victim
+// selection, overflow drains, splitter refills).
+func descCompare(a, b guest.TaskDesc) int {
+	if a.TS != b.TS {
+		if a.TS < b.TS {
+			return -1
+		}
+		return +1
+	}
+	return tsdom.Compare(a.Path, b.Path)
+}
+
+// descLater reports whether a orders strictly after b.
+func descLater(a, b guest.TaskDesc) bool { return descCompare(a, b) > 0 }
 
 // Task queue virtualization (§4.7): when a tile's task queue is nearly
 // full, a non-speculative coalescer task removes several idle,
@@ -48,19 +66,19 @@ func spillable(t *task) bool {
 // while real work starves). Highest timestamps come first — the work
 // farthest from the GVT and least likely to be needed soon.
 func movableTasks(tt *tile, max int) []*task {
-	minTS := uint64(0)
+	var minDesc guest.TaskDesc
 	if minT := tt.idleQ.Min(); minT != nil {
-		minTS = minT.desc.TS
+		minDesc = minT.desc
 	}
 	var batch []*task
 	for _, t := range tt.idleQ.h {
-		if spillable(t) && t.desc.TS > minTS {
+		if spillable(t) && descLater(t.desc, minDesc) {
 			batch = append(batch, t)
 		}
 	}
 	sort.Slice(batch, func(i, j int) bool {
-		if batch[i].desc.TS != batch[j].desc.TS {
-			return batch[i].desc.TS > batch[j].desc.TS
+		if c := descCompare(batch[i].desc, batch[j].desc); c != 0 {
+			return c > 0
 		}
 		return batch[i].seq > batch[j].seq
 	})
@@ -84,11 +102,11 @@ func (m *Machine) runCoalescer(c *cpu) bool {
 	tt.spillWanted = false
 
 	descs := make([]guest.TaskDesc, len(batch))
-	batchMinTS := batch[0].desc.TS
+	batchMin := batch[0].desc
 	for i, t := range batch {
 		descs[i] = t.desc
-		if t.desc.TS < batchMinTS {
-			batchMinTS = t.desc.TS
+		if descLater(batchMin, t.desc) {
+			batchMin = t.desc
 		}
 		tt.idleQ.Remove(t)
 		t.state = taskKilled
@@ -99,11 +117,14 @@ func (m *Machine) runCoalescer(c *cpu) bool {
 	// Install the splitter task immediately (space is guaranteed: the
 	// batch slots were just freed and nothing can run in between). The
 	// batch stays reachable through the splitter's task queue entry, so
-	// the GVT never passes the spilled work.
+	// the GVT never passes the spilled work. The splitter carries the
+	// batch minimum's (timestamp, path) pair: a bound at the pair is <=
+	// every member, so the GVT cannot pass the batch, and committing a
+	// same-slot task the whole batch follows stays legal.
 	m.batchCtr++
 	id := m.batchCtr
 	m.spillStore[id] = spillBatch{tile: tt.id, descs: descs}
-	sp := m.newTask(guest.TaskDesc{Fn: 0, TS: batchMinTS}, tt.id, nil)
+	sp := m.newTask(guest.TaskDesc{Fn: 0, TS: batchMin.TS, Path: batchMin.Path}, tt.id, nil)
 	sp.kind = kindSplitter
 	sp.batch = id
 	m.insertIdle(tt, sp)
@@ -151,8 +172,8 @@ func (m *Machine) runSplitter(c *cpu, t *task) {
 		c.task = nil
 		t.core = -1
 
-		// Insert lowest timestamps first.
-		sort.Slice(batch, func(i, j int) bool { return batch[i].TS < batch[j].TS })
+		// Insert lowest (timestamp, path) pairs first.
+		sort.Slice(batch, func(i, j int) bool { return descCompare(batch[i], batch[j]) < 0 })
 		free := m.cfg.TaskQPerTile() - tt.nTasks
 		n := len(batch)
 		if !m.cfg.UnboundedQueues && n > free {

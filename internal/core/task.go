@@ -6,6 +6,7 @@ import (
 	"github.com/swarm-sim/swarm/internal/bloom"
 	"github.com/swarm-sim/swarm/internal/guest"
 	"github.com/swarm-sim/swarm/internal/sim"
+	"github.com/swarm-sim/swarm/internal/tsdom"
 	"github.com/swarm-sim/swarm/internal/vt"
 )
 
@@ -121,13 +122,13 @@ type task struct {
 func (t *task) spec() bool { return t.kind == kindWorker }
 
 // boundVT returns the virtual time used for GVT purposes: dispatched tasks
-// use their unique virtual time; idle tasks use (timestamp, now, tile)
-// (§4.6).
+// use their unique virtual time; idle tasks use (timestamp, path, now,
+// tile) (§4.6).
 func (t *task) boundVT(now uint64) vt.Time {
 	if t.state != taskIdle {
 		return t.vt
 	}
-	return descBoundVT(t.desc.TS, now, t.tile)
+	return descBoundVT(t.desc.TS, t.desc.Path, now, t.tile)
 }
 
 // orderQueue is the tile's order queue (§4.2): it finds the highest-priority
@@ -156,14 +157,22 @@ func (q *orderQueue) Remove(t *task) {
 	}
 }
 
-// descHeap is a min-heap of task descriptors ordered by timestamp (the
-// memory-resident overflow buffer).
+// descHeap is a min-heap of task descriptors ordered by (timestamp,
+// nested path) — the memory-resident overflow buffer. The path joins the
+// key because the heap head feeds the tile's GVT bound (tileMinVT): with
+// a TS-only key a deeply-pathed head could hide an earlier-pathed
+// descriptor below it, raising the bound past work that must still run.
 type descHeap []guest.TaskDesc
 
-func (h descHeap) Len() int           { return len(h) }
-func (h descHeap) Less(i, j int) bool { return h[i].TS < h[j].TS }
-func (h descHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *descHeap) Push(x any)        { *h = append(*h, x.(guest.TaskDesc)) }
+func (h descHeap) Len() int { return len(h) }
+func (h descHeap) Less(i, j int) bool {
+	if h[i].TS != h[j].TS {
+		return h[i].TS < h[j].TS
+	}
+	return tsdom.Less(h[i].Path, h[j].Path)
+}
+func (h descHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *descHeap) Push(x any)   { *h = append(*h, x.(guest.TaskDesc)) }
 func (h *descHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -273,6 +282,9 @@ func (h taskHeap) Len() int { return len(h) }
 func (h taskHeap) Less(i, j int) bool {
 	if h[i].desc.TS != h[j].desc.TS {
 		return h[i].desc.TS < h[j].desc.TS
+	}
+	if c := tsdom.Compare(h[i].desc.Path, h[j].desc.Path); c != 0 {
+		return c < 0
 	}
 	return h[i].seq < h[j].seq
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/swarm-sim/swarm/internal/guest"
+	"github.com/swarm-sim/swarm/internal/tsdom"
 )
 
 // fakeEnv is a minimal in-memory guest.TaskEnv that records enqueues, so
@@ -11,12 +12,13 @@ import (
 // cross-backend and golden-fingerprint suites cover the frontier under
 // the real engines via the ported apps.)
 type fakeEnv struct {
-	mem  map[uint64]uint64
-	ts   uint64
-	args [3]uint64
-	work uint64
-	next uint64
-	enq  []guest.TaskDesc
+	mem   map[uint64]uint64
+	ts    uint64
+	args  [3]uint64
+	work  uint64
+	next  uint64
+	forks uint64
+	enq   []guest.TaskDesc
 }
 
 func newFakeEnv() *fakeEnv { return &fakeEnv{mem: map[uint64]uint64{}, next: 0x1000} }
@@ -38,6 +40,15 @@ func (f *fakeEnv) EnqueueArgs(fn guest.FnID, ts uint64, args [3]uint64) {
 }
 func (f *fakeEnv) EnqueueHinted(fn guest.FnID, ts uint64, hint uint64, args [3]uint64) {
 	f.enq = append(f.enq, guest.TaskDesc{Fn: fn, TS: ts, Args: args}.WithHint(hint))
+}
+func (f *fakeEnv) Fork(fn guest.FnID, args ...uint64) {
+	var a [3]uint64
+	copy(a[:], args)
+	f.EnqueueSub(fn, guest.NoHint, a)
+}
+func (f *fakeEnv) EnqueueSub(fn guest.FnID, _ uint64, args [3]uint64) {
+	f.enq = append(f.enq, guest.TaskDesc{Fn: fn, TS: f.ts, Path: tsdom.FromLevels(f.forks), Args: args})
+	f.forks++
 }
 
 func TestStateLineLayout(t *testing.T) {

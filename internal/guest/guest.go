@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"iter"
 	"sync"
+
+	"github.com/swarm-sim/swarm/internal/tsdom"
 )
 
 // OpKind discriminates guest operations.
@@ -70,9 +72,15 @@ type FnID int
 // 64-bit argument words (§4.1, Table 2). Hint optionally carries a spatial
 // locality key for hint-based task mappers; it is metadata consumed by the
 // task unit at enqueue time and costs nothing architecturally.
+//
+// Path is the nested fork vector ordering the task within its timestamp
+// slot (see internal/tsdom): empty for flat tasks, extended one level per
+// Fork/EnqueueSub. Plain enqueues inherit the parent's path verbatim, so
+// a subtask's children stay inside its slice of the slot.
 type TaskDesc struct {
 	Fn   FnID
 	TS   uint64
+	Path tsdom.Path
 	Hint uint64 // spatial key + 1; 0 = no hint (see WithHint/HintKey)
 	Args [3]uint64
 }
@@ -91,6 +99,15 @@ func (d TaskDesc) HintKey() (uint64, bool) {
 		return 0, false
 	}
 	return d.Hint - 1, true
+}
+
+// Sub returns the descriptor of d's i-th nested subtask: same timestamp
+// slot, path extended by fork index i. Root task sets use it to seed a
+// fork-join domain below one programmer timestamp; inside a running task,
+// Fork/EnqueueSub assign fork indices automatically.
+func (d TaskDesc) Sub(i uint64) TaskDesc {
+	d.Path = d.Path.Child(i)
+	return d
 }
 
 // Op is one operation surrendered by a guest.
@@ -146,7 +163,22 @@ type TaskEnv interface {
 	// home tile; other mappers ignore it. The hint is free — it adds no
 	// instructions, memory accesses or descriptor-transfer cost.
 	EnqueueHinted(fn FnID, ts uint64, hint uint64, args [3]uint64)
+	// Fork creates a child ordered *within* this task's timestamp slot:
+	// the child runs at the same timestamp with the task's path extended
+	// by the next fork index, so it orders after this task (and after all
+	// previously forked siblings with their whole subtrees) but before
+	// anything this task's slot precedes. Fork indices restart at zero on
+	// every (re-)execution of the body, so an aborted-and-retried task
+	// forks an identical subtree.
+	Fork(fn FnID, args ...uint64)
+	// EnqueueSub is Fork with a fixed argument array (see EnqueueArgs for
+	// why) plus an optional spatial hint key; hint = NoHint leaves the
+	// child unhinted.
+	EnqueueSub(fn FnID, hint uint64, args [3]uint64)
 }
+
+// NoHint marks an EnqueueSub child with no spatial hint key.
+const NoHint = ^uint64(0)
 
 // ThreadEnv is the environment visible to a software-baseline thread.
 type ThreadEnv interface {
@@ -226,7 +258,7 @@ func StartTask(fn TaskFn, desc TaskDesc) *Coroutine {
 	taskPool.Unlock()
 	if co == nil {
 		co = &Coroutine{pooled: true}
-		co.env = coTaskEnv{coEnv{co: co}, TaskDesc{}}
+		co.env = coTaskEnv{coEnv: coEnv{co: co}}
 		co.next, co.stop = iter.Pull(co.taskSeq)
 	}
 	co.done = false
@@ -242,6 +274,7 @@ func (co *Coroutine) taskSeq(yield func(Op) bool) {
 	for {
 		j := co.job
 		co.env.desc = j.desc
+		co.env.forks = 0
 		if runGuest(func() { j.fn(&co.env) }) {
 			if !yield(Op{Kind: OpAborted}) {
 				return
@@ -347,7 +380,8 @@ func (e *coEnv) Free(addr, n uint64)   { e.exec(Op{Kind: OpFree, Addr: addr, N: 
 
 type coTaskEnv struct {
 	coEnv
-	desc TaskDesc
+	desc  TaskDesc
+	forks uint64 // fork indices handed out by this body run
 }
 
 func (e *coTaskEnv) Timestamp() uint64 { return e.desc.TS }
@@ -365,14 +399,32 @@ func (e *coTaskEnv) EnqueueArgs(fn FnID, ts uint64, args [3]uint64) {
 	if ts < e.desc.TS {
 		panic(fmt.Sprintf("guest: child timestamp %d before parent %d", ts, e.desc.TS))
 	}
-	e.exec(Op{Kind: OpEnqueue, Task: TaskDesc{Fn: fn, TS: ts, Args: args}})
+	e.exec(Op{Kind: OpEnqueue, Task: TaskDesc{Fn: fn, TS: ts, Path: e.desc.Path, Args: args}})
 }
 
 func (e *coTaskEnv) EnqueueHinted(fn FnID, ts uint64, hint uint64, args [3]uint64) {
 	if ts < e.desc.TS {
 		panic(fmt.Sprintf("guest: child timestamp %d before parent %d", ts, e.desc.TS))
 	}
-	e.exec(Op{Kind: OpEnqueue, Task: TaskDesc{Fn: fn, TS: ts, Args: args}.WithHint(hint)})
+	e.exec(Op{Kind: OpEnqueue, Task: TaskDesc{Fn: fn, TS: ts, Path: e.desc.Path, Args: args}.WithHint(hint)})
+}
+
+func (e *coTaskEnv) Fork(fn FnID, args ...uint64) {
+	var a [3]uint64
+	if len(args) > len(a) {
+		panic("guest: task descriptors hold at most 3 argument words; allocate memory for more (§4.1)")
+	}
+	copy(a[:], args)
+	e.EnqueueSub(fn, NoHint, a)
+}
+
+func (e *coTaskEnv) EnqueueSub(fn FnID, hint uint64, args [3]uint64) {
+	d := TaskDesc{Fn: fn, TS: e.desc.TS, Path: e.desc.Path.Child(e.forks), Args: args}
+	e.forks++
+	if hint != NoHint {
+		d = d.WithHint(hint)
+	}
+	e.exec(Op{Kind: OpEnqueue, Task: d})
 }
 
 type coThreadEnv struct {

@@ -2,11 +2,21 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"github.com/swarm-sim/swarm/internal/bench"
 	"github.com/swarm-sim/swarm/internal/core"
 )
+
+// optionList joins names in sorted order for error messages: registries
+// order names semantically (suite order, default first), but a user
+// scanning an error for a typo'd flag wants the alphabet.
+func optionList(names []string) string {
+	s := append([]string(nil), names...)
+	sort.Strings(s)
+	return strings.Join(s, ", ")
+}
 
 // Up-front flag/request validation, shared by the CLIs and the swarmd
 // daemon. Before these helpers, an invalid -app/-mapper/-scale surfaced
@@ -19,7 +29,7 @@ import (
 // of names, or "all" — against the bench registry and returns the
 // resolved app names in request order ("all" expands to suite order).
 func ResolveApps(flagVal string) ([]string, error) {
-	valid := strings.Join(bench.AppNames(), ", ")
+	valid := optionList(bench.AppNames())
 	if strings.TrimSpace(flagVal) == "all" {
 		return bench.AppNames(), nil
 	}
@@ -51,7 +61,7 @@ func ValidateMapper(name string) error {
 			return nil
 		}
 	}
-	return fmt.Errorf("unknown mapper %q (valid: %s)", name, strings.Join(core.MapperNames(), ", "))
+	return fmt.Errorf("unknown mapper %q (valid: %s)", name, optionList(core.MapperNames()))
 }
 
 // ValidateScale checks a scale name, returning the parsed Scale. It is
@@ -77,7 +87,7 @@ func ValidateBackend(name string) error {
 	if core.ValidBackend(name) {
 		return nil
 	}
-	return fmt.Errorf("unknown backend %q (valid: %s)", name, strings.Join(core.BackendNames(), ", "))
+	return fmt.Errorf("unknown backend %q (valid: %s)", name, optionList(core.BackendNames()))
 }
 
 // ValidateSimWorkers checks a tile-parallel shard count (0 and 1 both

@@ -71,6 +71,39 @@ func TestValidateFlags(t *testing.T) {
 	}
 }
 
+// TestValidatorMessagesSorted pins the EXACT error text: option lists in
+// validator errors are alphabetical (registries stay in semantic order —
+// suite order for apps, default-first for mappers and backends — but a
+// user scanning an error for a typo wants the alphabet, and goldenizing
+// the text keeps every new app/backend/mapper registration honest).
+func TestValidatorMessagesSorted(t *testing.T) {
+	const appList = "astar, bfs, color, des, dsssp, incsssp, kcore, msf, msort, setcover, silo, sssp, stream, treebuild"
+	tests := []struct {
+		name string
+		err  error
+		want string
+	}{
+		{"app", func() error { _, err := ResolveApps("nope"); return err }(),
+			`unknown app "nope" (valid: ` + appList + `; a comma list; or all)`},
+		{"app-empty", func() error { _, err := ResolveApps(""); return err }(),
+			`no app named (valid: ` + appList + `; a comma list; or all)`},
+		{"mapper", ValidateMapper("rnd"),
+			`unknown mapper "rnd" (valid: hint, random, roundrobin, stealing)`},
+		{"backend", ValidateBackend("native"),
+			`unknown backend "native" (valid: rt, rt-conservative, sim)`},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.err == nil {
+				t.Fatal("want error")
+			}
+			if got := tc.err.Error(); got != tc.want {
+				t.Fatalf("error text:\n got: %s\nwant: %s", got, tc.want)
+			}
+		})
+	}
+}
+
 func TestResolveAppsOrder(t *testing.T) {
 	names, err := ResolveApps("silo, bfs")
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"github.com/swarm-sim/swarm/internal/guest"
+	"github.com/swarm-sim/swarm/internal/tsdom"
 )
 
 // BuildFn lays out guest data, registers named task functions on the build
@@ -61,6 +62,9 @@ func (h profHeap) Less(i, j int) bool {
 	if h[i].desc.TS != h[j].desc.TS {
 		return h[i].desc.TS < h[j].desc.TS
 	}
+	if c := tsdom.Compare(h[i].desc.Path, h[j].desc.Path); c != 0 {
+		return c < 0
+	}
 	return h[i].seq < h[j].seq
 }
 func (h profHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
@@ -83,6 +87,7 @@ type profEnv struct {
 	desc   guest.TaskDesc
 	curIdx int
 	instrs uint64
+	forks  uint64
 	reads  map[uint64]struct{}
 	writes map[uint64]struct{}
 }
@@ -93,6 +98,7 @@ func newProfEnv() *profEnv {
 
 func (p *profEnv) resetTask() {
 	p.instrs = 0
+	p.forks = 0
 	p.reads = make(map[uint64]struct{})
 	p.writes = make(map[uint64]struct{})
 }
@@ -139,17 +145,36 @@ func (p *profEnv) Enqueue(fn guest.FnID, ts uint64, args ...uint64) {
 	p.EnqueueArgs(fn, ts, a)
 }
 
-// EnqueueArgs implements guest.TaskEnv.
+// EnqueueArgs implements guest.TaskEnv. Children inherit the parent's
+// nested path verbatim (matching the machine backends).
 func (p *profEnv) EnqueueArgs(fn guest.FnID, ts uint64, args [3]uint64) {
 	p.instrs++
 	p.seq++
-	heap.Push(&p.queue, profItem{desc: guest.TaskDesc{Fn: fn, TS: ts, Args: args}, seq: p.seq, parent: p.curIdx})
+	heap.Push(&p.queue, profItem{desc: guest.TaskDesc{Fn: fn, TS: ts, Path: p.desc.Path, Args: args}, seq: p.seq, parent: p.curIdx})
 }
 
 // EnqueueHinted implements guest.TaskEnv; the oracle's idealized scheduler
 // has no tiles, so the hint is dropped.
 func (p *profEnv) EnqueueHinted(fn guest.FnID, ts uint64, _ uint64, args [3]uint64) {
 	p.EnqueueArgs(fn, ts, args)
+}
+
+// Fork implements guest.TaskEnv.
+func (p *profEnv) Fork(fn guest.FnID, args ...uint64) {
+	var a [3]uint64
+	copy(a[:], args)
+	p.EnqueueSub(fn, guest.NoHint, a)
+}
+
+// EnqueueSub implements guest.TaskEnv: the child lands inside the
+// parent's timestamp slot at the next fork index, so the profiler's
+// serial schedule interleaves it exactly where the machines commit it.
+func (p *profEnv) EnqueueSub(fn guest.FnID, _ uint64, args [3]uint64) {
+	p.instrs++
+	p.seq++
+	d := guest.TaskDesc{Fn: fn, TS: p.desc.TS, Path: p.desc.Path.Child(p.forks), Args: args}
+	p.forks++
+	heap.Push(&p.queue, profItem{desc: d, seq: p.seq, parent: p.curIdx})
 }
 
 func setOf(m map[uint64]struct{}) []uint64 {

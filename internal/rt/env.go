@@ -43,7 +43,8 @@ type taskEnv struct {
 	children []guest.TaskDesc
 	frees    []span
 	ops      uint64
-	allocd   bool // the attempt called Alloc (see Runtime.recheckLocked)
+	forks    uint64 // fork indices handed out by this attempt
+	allocd   bool   // the attempt called Alloc (see Runtime.recheckLocked)
 }
 
 type span struct {
@@ -135,13 +136,14 @@ func (e *taskEnv) Enqueue(fn guest.FnID, ts uint64, args ...uint64) {
 
 // EnqueueArgs implements guest.TaskEnv: children are buffered and become
 // runnable only when the parent commits, so a misspeculated parent's
-// children never exist and aborts cannot cascade.
+// children never exist and aborts cannot cascade. Children inherit the
+// parent's nested path, keeping them inside its slice of the slot.
 func (e *taskEnv) EnqueueArgs(fn guest.FnID, ts uint64, args [3]uint64) {
 	if ts < e.desc.TS {
 		panic(fmt.Sprintf("guest: child timestamp %d before parent %d", ts, e.desc.TS))
 	}
 	e.step(1)
-	e.children = append(e.children, guest.TaskDesc{Fn: fn, TS: ts, Args: args})
+	e.children = append(e.children, guest.TaskDesc{Fn: fn, TS: ts, Path: e.desc.Path, Args: args})
 }
 
 // EnqueueHinted implements guest.TaskEnv. Spatial hints steer the
@@ -152,5 +154,30 @@ func (e *taskEnv) EnqueueHinted(fn guest.FnID, ts uint64, hint uint64, args [3]u
 		panic(fmt.Sprintf("guest: child timestamp %d before parent %d", ts, e.desc.TS))
 	}
 	e.step(1)
-	e.children = append(e.children, guest.TaskDesc{Fn: fn, TS: ts, Args: args}.WithHint(hint))
+	e.children = append(e.children, guest.TaskDesc{Fn: fn, TS: ts, Path: e.desc.Path, Args: args}.WithHint(hint))
+}
+
+// Fork implements guest.TaskEnv: a child ordered within the parent's
+// timestamp slot, after previously forked siblings.
+func (e *taskEnv) Fork(fn guest.FnID, args ...uint64) {
+	var a [3]uint64
+	if len(args) > len(a) {
+		panic("guest: task descriptors hold at most 3 argument words; allocate memory for more (§4.1)")
+	}
+	copy(a[:], args)
+	e.EnqueueSub(fn, guest.NoHint, a)
+}
+
+// EnqueueSub implements guest.TaskEnv. Fork indices restart at zero on
+// every attempt (each attempt runs on a fresh taskEnv), so a retried
+// task buffers an identical child set — which the DebugChecks
+// re-execution comparison requires.
+func (e *taskEnv) EnqueueSub(fn guest.FnID, hint uint64, args [3]uint64) {
+	e.step(1)
+	d := guest.TaskDesc{Fn: fn, TS: e.desc.TS, Path: e.desc.Path.Child(e.forks), Args: args}
+	e.forks++
+	if hint != guest.NoHint {
+		d = d.WithHint(hint)
+	}
+	e.children = append(e.children, d)
 }

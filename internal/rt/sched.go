@@ -5,22 +5,32 @@ import (
 	"sync"
 
 	"github.com/swarm-sim/swarm/internal/guest"
+	"github.com/swarm-sim/swarm/internal/tsdom"
 )
 
 // vtime is a task's unique virtual time: the guest timestamp ordered
-// first, broken by a global creation sequence number, exactly like the
-// simulator's (timestamp, tiebreaker) virtual time (§4.2). Roots take
-// sequence numbers in setup order; children take them at their parent's
-// commit. Commits happen strictly in vtime order and children inherit
-// sequence numbers from a deterministic commit sequence, so the total
-// order — and with it the final guest memory — is independent of worker
-// interleaving.
+// first, then the nested fork path (tsdom dag order, empty for flat
+// tasks), broken by a global creation sequence number — exactly like the
+// simulator's (timestamp, path, tiebreaker) virtual time (§4.2). Roots
+// take sequence numbers in setup order; children take them at their
+// parent's commit. Commits happen strictly in vtime order and children
+// inherit sequence numbers from a deterministic commit sequence, so the
+// total order — and with it the final guest memory — is independent of
+// worker interleaving.
 type vtime struct {
-	ts, seq uint64
+	ts   uint64
+	path tsdom.Path
+	seq  uint64
 }
 
 func (a vtime) less(b vtime) bool {
-	return a.ts < b.ts || (a.ts == b.ts && a.seq < b.seq)
+	if a.ts != b.ts {
+		return a.ts < b.ts
+	}
+	if c := tsdom.Compare(a.path, b.path); c != 0 {
+		return c < 0
+	}
+	return a.seq < b.seq
 }
 
 // task is one schedulable unit. vt is fixed at creation and survives
@@ -110,7 +120,7 @@ func (s *sched) pushReadyLocked(t *task) {
 func (s *sched) enqueueLocked(d guest.TaskDesc) {
 	s.seqCtr++
 	s.enqueues++
-	s.pushReadyLocked(&task{desc: d, vt: vtime{ts: d.TS, seq: s.seqCtr}})
+	s.pushReadyLocked(&task{desc: d, vt: vtime{ts: d.TS, path: d.Path, seq: s.seqCtr}})
 }
 
 // minActiveLocked returns the minimum vtime over ready and running tasks
@@ -135,7 +145,11 @@ func (s *sched) minActiveLocked() (vtime, bool) {
 }
 
 // minUncommittedTSLocked returns the smallest guest timestamp among all
-// uncommitted tasks: the conservative mode's dispatch frontier.
+// uncommitted tasks: the conservative mode's dispatch frontier. The
+// frontier is deliberately timestamp-only — a conservative wave spans a
+// whole timestamp slot including its nested fork subtasks, which may run
+// concurrently within the wave; the commit queue still retires them in
+// full (ts, path, seq) order.
 func (s *sched) minUncommittedTSLocked() (uint64, bool) {
 	min, ok := s.minActiveLocked()
 	ts, any := min.ts, ok

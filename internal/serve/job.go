@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -10,6 +11,14 @@ import (
 	"github.com/swarm-sim/swarm/internal/core"
 	"github.com/swarm-sim/swarm/internal/harness"
 )
+
+// appList joins the registered app names alphabetically for error
+// messages (AppNames itself stays in suite order).
+func appList() string {
+	names := append([]string(nil), bench.AppNames()...)
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
 
 // JobSpec is one simulation request. The zero value of every optional
 // field selects the same default as the CLIs, so a minimal submission is
@@ -68,11 +77,11 @@ func (j JobSpec) withDefaults() JobSpec {
 // names the valid options.
 func (j JobSpec) Validate() error {
 	if j.App == "" {
-		return fmt.Errorf("missing app (valid: %s)", strings.Join(bench.AppNames(), ", "))
+		return fmt.Errorf("missing app (valid: %s)", appList())
 	}
 	meta, ok := bench.Lookup(j.App)
 	if !ok {
-		return fmt.Errorf("unknown app %q (valid: %s)", j.App, strings.Join(bench.AppNames(), ", "))
+		return fmt.Errorf("unknown app %q (valid: %s)", j.App, appList())
 	}
 	if _, err := harness.ValidateScale(j.Scale); err != nil {
 		return err

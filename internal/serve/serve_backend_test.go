@@ -111,6 +111,47 @@ func TestBackendValidationAndRegistry(t *testing.T) {
 	}
 }
 
+// TestForkJoinJobs: the nested-timestamp apps run end-to-end through the
+// HTTP surface on every backend, commit the same work everywhere, and —
+// like the flat apps — keep per-backend cache entries distinct.
+func TestForkJoinJobs(t *testing.T) {
+	d := newTestDaemon(t, Config{Workers: 2})
+
+	for _, app := range []string{"msort", "treebuild"} {
+		base := JobSpec{App: app, Scale: "tiny", Cores: 4}
+		sim := d.submitAndWait(t, base)
+		if sim.State != JobDone {
+			t.Fatalf("%s sim: state %s (%s)", app, sim.State, sim.Error)
+		}
+		if sim.Stats.Commits == 0 {
+			t.Fatalf("%s sim committed nothing", app)
+		}
+		for _, backend := range []string{"rt", "rt-conservative"} {
+			spec := base
+			spec.Backend = backend
+			job := d.submitAndWait(t, spec)
+			if job.State != JobDone {
+				t.Fatalf("%s %s: state %s (%s)", app, backend, job.State, job.Error)
+			}
+			// Fork paths are backend-invariant: the same nested task tree
+			// commits whichever engine ran it.
+			if job.Stats.Commits != sim.Stats.Commits {
+				t.Fatalf("%s committed work diverged: %s %d commits, sim %d",
+					app, backend, job.Stats.Commits, sim.Stats.Commits)
+			}
+			// The backend is part of the cache key even for pathed apps.
+			if job.CacheHit {
+				t.Fatalf("%s %s dedupe'd onto another backend's entry", app, backend)
+			}
+		}
+		rtSpec := base
+		rtSpec.Backend = "rt"
+		if again := d.submitAndWait(t, rtSpec); !again.CacheHit {
+			t.Fatalf("%s repeated rt spec missed the cache", app)
+		}
+	}
+}
+
 // TestBackendSession: a live phased session on the rt backend steps
 // phase by phase against resident runtime state, like a sim session.
 func TestBackendSession(t *testing.T) {

@@ -284,6 +284,7 @@ func TestBadRequests(t *testing.T) {
 		{"unknown field", `{"app": "bfs", "corse": 8}`, "corse"},
 		{"missing app", `{}`, "valid:"},
 		{"unknown app", `{"app": "nope"}`, "bfs"},
+		{"unknown app lists fork-join apps", `{"app": "qsort"}`, "msort, setcover, silo, sssp, stream, treebuild"},
 		{"bad scale", `{"app": "bfs", "scale": "galactic"}`, "tiny"},
 		{"bad cores", `{"app": "bfs", "cores": 7}`, "multiple of 4"},
 		{"bad mapper", `{"app": "bfs", "mapper": "psychic"}`, "random"},
@@ -628,6 +629,18 @@ func TestAppsAndHealth(t *testing.T) {
 	}
 	if byName["bfs"].Phased {
 		t.Error("bfs marked phased in /apps")
+	}
+	// The fork-join (nested-timestamp) apps are advertised like any flat
+	// app: present, summarized, single-phase, no software-parallel flavor.
+	for _, name := range []string{"msort", "treebuild"} {
+		a, ok := byName[name]
+		if !ok {
+			t.Errorf("fork-join app %s missing from /apps", name)
+			continue
+		}
+		if a.Phased || a.HasParallel {
+			t.Errorf("%s: phased=%v has_parallel=%v, want false/false", name, a.Phased, a.HasParallel)
+		}
 	}
 
 	for _, url := range []string{d.api.URL + "/healthz", d.admin.URL + "/healthz"} {

@@ -1,0 +1,67 @@
+package tsdom
+
+import (
+	"testing"
+)
+
+// truncPath clips raw fuzz bytes to a whole number of packed levels,
+// capped at MaxDepth, so every input decodes to a valid Path.
+func truncPath(raw []byte) Path {
+	n := len(raw) / LevelWidth
+	if n > MaxDepth {
+		n = MaxDepth
+	}
+	return Path(raw[:n*LevelWidth])
+}
+
+// FuzzPathOrder checks the packed comparison against the
+// arbitrary-precision reference: unpack both paths to their fork-index
+// sequences and compare lexicographically (prefix first). Any packing
+// or fast-path bug that breaks dag order shows up as a disagreement.
+func FuzzPathOrder(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte(FromLevels(0)), []byte(FromLevels(1)))
+	f.Add([]byte(FromLevels(5)), []byte(FromLevels(5, 0)))
+	f.Add([]byte(FromLevels(0, 99, 99)), []byte(FromLevels(1)))
+	f.Add([]byte(FromLevels(^uint64(0))), []byte(FromLevels(^uint64(0), 0)))
+	f.Add([]byte(FromLevels(255)), []byte(FromLevels(256)))
+	f.Add([]byte{1, 2, 3}, []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}) // ragged raw bytes
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		a, b := truncPath(rawA), truncPath(rawB)
+		if !a.Valid() || !b.Valid() {
+			t.Fatalf("truncPath produced invalid path: %q %q", a, b)
+		}
+		got := Compare(a, b)
+		want := refCompare(a.Levels(), b.Levels())
+		if got != want {
+			t.Fatalf("Compare(%v, %v) = %d, reference = %d", a.Levels(), b.Levels(), got, want)
+		}
+		if back := Compare(b, a); back != -got {
+			t.Fatalf("Compare not antisymmetric: %d vs %d", got, back)
+		}
+		if (got == 0) != (a == b) {
+			t.Fatalf("Compare==0 disagrees with equality: %v %v", a.Levels(), b.Levels())
+		}
+		// Round-trip: repacking the unpacked levels reproduces the path.
+		if FromLevels(a.Levels()...) != a {
+			t.Fatalf("FromLevels(Levels()) round-trip failed for %q", a)
+		}
+		// Child strictly extends: a < a.Child(i) for any index drawn from
+		// the input, and the child decodes back.
+		if a.Depth() < MaxDepth && len(rawB) >= LevelWidth {
+			idx := leUint64(rawB[:LevelWidth])
+			c := a.Child(idx)
+			if !Less(a, c) || c.Parent() != a || c.Level(c.Depth()-1) != idx {
+				t.Fatalf("Child(%d) of %v broken", idx, a.Levels())
+			}
+		}
+	})
+}
+
+func leUint64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

@@ -1,0 +1,149 @@
+// Package tsdom implements nested timestamp domains: the hierarchical
+// path component that slots between a task's programmer timestamp and
+// its dispatch tie-breakers in the unique-virtual-time total order.
+//
+// A flat Swarm timestamp names one slot in program order. Fork-join and
+// recursive programs need to order work *within* a slot: a divide-and-
+// conquer task forks subtasks that must appear to run inside the
+// parent's position, each subtask recursively forking its own. Following
+// DePa's order-maintenance-by-fork-structure idea, every task carries a
+// fork vector — the sequence of fork indices on the path from its
+// domain's root — and two tasks in the same timestamp slot order by the
+// dag order of those vectors: a parent (a strict prefix) precedes all of
+// its descendants, and sibling subtrees order by fork index, each
+// subtree entirely before the next.
+//
+// The vector is packed into a fixed-width word sequence: one big-endian
+// 64-bit word per fork level, stored in a Go string. The packing makes
+// dag comparison a single lexicographic byte comparison (memcmp), with
+// an O(1) fast path when either side is flat (the empty path) — flat
+// programs, whose tasks all carry empty paths, pay one length check and
+// keep their exact historical ordering. Strings are immutable and
+// comparable, so paths can ride inside task descriptors and virtual
+// times that are copied, hashed and compared by value everywhere in the
+// machine.
+package tsdom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// LevelWidth is the packed byte width of one fork level.
+const LevelWidth = 8
+
+// MaxDepth bounds the fork depth a path may encode. The limit exists
+// only to catch runaway recursion in guest programs (a task forking
+// inside an unbounded loop); legitimate divide-and-conquer depth is
+// logarithmic in the input.
+const MaxDepth = 1 << 10
+
+// Path is a packed fork vector: LevelWidth big-endian bytes per level.
+// The zero value ("") is the flat path — the domain root, carried by
+// every task of a non-forking program. Lexicographic string comparison
+// on Path values is exactly dag order: prefix before extension, then
+// fork-index order.
+type Path string
+
+// Root is the flat path.
+const Root Path = ""
+
+// IsRoot reports whether the path is flat (depth 0).
+func (p Path) IsRoot() bool { return len(p) == 0 }
+
+// Depth returns the number of fork levels.
+func (p Path) Depth() int { return len(p) / LevelWidth }
+
+// Valid reports whether the string has a whole number of packed levels.
+func (p Path) Valid() bool { return len(p)%LevelWidth == 0 && p.Depth() <= MaxDepth }
+
+// Child returns the path of the i-th forked subtask: p with level i
+// appended. Children of one parent order by fork index, and every child
+// (with its whole subtree) orders after the parent and before the next
+// sibling.
+func (p Path) Child(i uint64) Path {
+	if p.Depth() >= MaxDepth {
+		panic(fmt.Sprintf("tsdom: fork depth exceeds %d — runaway recursive Fork?", MaxDepth))
+	}
+	var lvl [LevelWidth]byte
+	binary.BigEndian.PutUint64(lvl[:], i)
+	return p + Path(lvl[:])
+}
+
+// Level returns the fork index at depth d (0-based). It panics when d is
+// out of range, matching slice indexing.
+func (p Path) Level(d int) uint64 {
+	return binary.BigEndian.Uint64([]byte(p[d*LevelWidth : (d+1)*LevelWidth]))
+}
+
+// Levels unpacks the full fork vector. Allocates; diagnostic use only.
+func (p Path) Levels() []uint64 {
+	ls := make([]uint64, p.Depth())
+	for d := range ls {
+		ls[d] = p.Level(d)
+	}
+	return ls
+}
+
+// Parent returns the path with its last level removed; the root returns
+// itself.
+func (p Path) Parent() Path {
+	if p.IsRoot() {
+		return p
+	}
+	return p[:len(p)-LevelWidth]
+}
+
+// HasPrefix reports whether q is an ancestor-or-self of p in the fork
+// tree.
+func (p Path) HasPrefix(q Path) bool {
+	return len(p) >= len(q) && p[:len(q)] == q
+}
+
+// Compare returns -1, 0 or +1 as p orders before, equal to, or after q
+// in dag order. The fixed-width packing makes this a plain string
+// comparison; the explicit empty checks are the flat fast path (both
+// sides empty — the only case flat programs ever hit — decides on two
+// length tests without touching bytes).
+func Compare(p, q Path) int {
+	if len(p) == 0 {
+		if len(q) == 0 {
+			return 0
+		}
+		return -1
+	}
+	if len(q) == 0 {
+		return +1
+	}
+	return strings.Compare(string(p), string(q))
+}
+
+// Less reports whether p orders strictly before q in dag order.
+func Less(p, q Path) bool { return Compare(p, q) < 0 }
+
+// String renders the fork vector as dot-separated indices ("2.0.7");
+// the root renders as "·".
+func (p Path) String() string {
+	if p.IsRoot() {
+		return "·"
+	}
+	var b strings.Builder
+	for d := 0; d < p.Depth(); d++ {
+		if d > 0 {
+			b.WriteByte('.')
+		}
+		fmt.Fprintf(&b, "%d", p.Level(d))
+	}
+	return b.String()
+}
+
+// FromLevels packs a fork vector; the inverse of Levels. Test and
+// diagnostic helper.
+func FromLevels(levels ...uint64) Path {
+	p := Root
+	for _, l := range levels {
+		p = p.Child(l)
+	}
+	return p
+}

@@ -1,0 +1,239 @@
+package tsdom
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRootAndDepth(t *testing.T) {
+	if !Root.IsRoot() || Root.Depth() != 0 || !Root.Valid() {
+		t.Fatalf("Root = %q: IsRoot=%v Depth=%d Valid=%v", Root, Root.IsRoot(), Root.Depth(), Root.Valid())
+	}
+	p := Root.Child(3).Child(0).Child(41)
+	if p.Depth() != 3 || !p.Valid() {
+		t.Fatalf("depth = %d, valid = %v, want 3, true", p.Depth(), p.Valid())
+	}
+	want := []uint64{3, 0, 41}
+	for d, w := range want {
+		if got := p.Level(d); got != w {
+			t.Errorf("Level(%d) = %d, want %d", d, got, w)
+		}
+	}
+	if got := p.Levels(); len(got) != 3 || got[0] != 3 || got[1] != 0 || got[2] != 41 {
+		t.Errorf("Levels() = %v, want %v", got, want)
+	}
+	if p.Parent() != FromLevels(3, 0) {
+		t.Errorf("Parent() = %v, want 3.0", p.Parent())
+	}
+	if Root.Parent() != Root {
+		t.Errorf("Root.Parent() = %q, want root", Root.Parent())
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		p    Path
+		want string
+	}{
+		{Root, "·"},
+		{FromLevels(0), "0"},
+		{FromLevels(2, 0, 7), "2.0.7"},
+		{FromLevels(1 << 40), "1099511627776"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.p.Levels(), got, c.want)
+		}
+	}
+}
+
+// TestDagOrder pins the ordering law the whole subsystem rests on:
+// parent before child, siblings by fork index, each sibling subtree
+// entirely before the next.
+func TestDagOrder(t *testing.T) {
+	cases := []struct {
+		a, b Path
+		cmp  int
+	}{
+		{Root, Root, 0},
+		{Root, FromLevels(0), -1},                           // parent before first child
+		{FromLevels(5), FromLevels(5, 0), -1},               // prefix before extension
+		{FromLevels(0), FromLevels(1), -1},                  // fork-index order
+		{FromLevels(0, 99, 99), FromLevels(1), -1},          // whole subtree before next sibling
+		{FromLevels(1), FromLevels(0, 99, 99), +1},          // and symmetrically
+		{FromLevels(2, 7), FromLevels(2, 7), 0},             // equality
+		{FromLevels(1 << 60), FromLevels(1<<60, 0), -1},     // big indices, fixed width
+		{FromLevels(255), FromLevels(256), -1},              // byte-boundary indices
+		{FromLevels(0, 1<<32), FromLevels(0, 1<<32+1), -1},  // high-word ties
+		{FromLevels(^uint64(0)), FromLevels(^uint64(0)), 0}, // max index
+		{FromLevels(0), FromLevels(^uint64(0)), -1},         // min vs max index
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.cmp {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.cmp)
+		}
+		if got := Compare(c.b, c.a); got != -c.cmp {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.b, c.a, got, -c.cmp)
+		}
+		if got := Less(c.a, c.b); got != (c.cmp < 0) {
+			t.Errorf("Less(%v, %v) = %v, want %v", c.a, c.b, got, c.cmp < 0)
+		}
+	}
+}
+
+func TestHasPrefix(t *testing.T) {
+	p := FromLevels(2, 0, 7)
+	for _, anc := range []Path{Root, FromLevels(2), FromLevels(2, 0), p} {
+		if !p.HasPrefix(anc) {
+			t.Errorf("%v should have prefix %v", p, anc)
+		}
+	}
+	for _, not := range []Path{FromLevels(3), FromLevels(2, 1), p.Child(0)} {
+		if p.HasPrefix(not) {
+			t.Errorf("%v should not have prefix %v", p, not)
+		}
+	}
+}
+
+// refCompare is the arbitrary-precision reference order: compare the
+// unpacked fork-index sequences lexicographically, prefix first.
+func refCompare(a, b []uint64) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return +1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return +1
+	}
+	return 0
+}
+
+// genPath draws a random path biased toward shared prefixes (the
+// interesting comparisons) and extreme fork indices.
+func genPath(r *rand.Rand) Path {
+	depth := r.Intn(5)
+	p := Root
+	for d := 0; d < depth; d++ {
+		var idx uint64
+		switch r.Intn(4) {
+		case 0:
+			idx = uint64(r.Intn(3)) // collide often
+		case 1:
+			idx = uint64(r.Intn(1000))
+		case 2:
+			idx = ^uint64(0) - uint64(r.Intn(3))
+		default:
+			idx = r.Uint64()
+		}
+		p = p.Child(idx)
+	}
+	return p
+}
+
+// TestQuickTotalOrderLaws property-checks antisymmetry, transitivity and
+// totality over randomly generated paths via testing/quick.
+func TestQuickTotalOrderLaws(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 5000,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(genPath(r))
+			}
+		},
+	}
+	// Agreement with the unpacked reference, and antisymmetry.
+	if err := quick.Check(func(a, b Path) bool {
+		c := Compare(a, b)
+		return c == refCompare(a.Levels(), b.Levels()) && Compare(b, a) == -c
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// Transitivity.
+	if err := quick.Check(func(a, b, c Path) bool {
+		x, y, z := a, b, c
+		// Sort the triple by Compare and require the chain to hold.
+		ps := []Path{x, y, z}
+		sort.Slice(ps, func(i, j int) bool { return Less(ps[i], ps[j]) })
+		return Compare(ps[0], ps[1]) <= 0 && Compare(ps[1], ps[2]) <= 0 && Compare(ps[0], ps[2]) <= 0
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// Totality: exactly one of <, ==, > holds.
+	if err := quick.Check(func(a, b Path) bool {
+		lt, gt := Less(a, b), Less(b, a)
+		eq := Compare(a, b) == 0
+		n := 0
+		for _, v := range []bool{lt, gt, eq} {
+			if v {
+				n++
+			}
+		}
+		return n == 1
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// Child/parent structure: p < p.Child(i) < p.Child(i+1), and the whole
+	// Child(i) subtree precedes Child(i+1).
+	if err := quick.Check(func(a, b Path) bool {
+		i := uint64(len(a)) // arbitrary small index
+		c0, c1 := a.Child(i), a.Child(i+1)
+		deep := c0
+		for d := 0; d < 3; d++ {
+			deep = deep.Child(^uint64(0))
+		}
+		return Less(a, c0) && Less(c0, c1) && Less(deep, c1) && c0.Parent() == a
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSortAgainstReference cross-checks a full sort of packed paths
+// against sorting the unpacked sequences.
+func TestSortAgainstReference(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		ps := make([]Path, 64)
+		for i := range ps {
+			ps[i] = genPath(r)
+		}
+		ref := make([][]uint64, len(ps))
+		for i, p := range ps {
+			ref[i] = p.Levels()
+		}
+		sort.SliceStable(ps, func(i, j int) bool { return Less(ps[i], ps[j]) })
+		sort.SliceStable(ref, func(i, j int) bool { return refCompare(ref[i], ref[j]) < 0 })
+		for i := range ps {
+			if refCompare(ps[i].Levels(), ref[i]) != 0 {
+				t.Fatalf("trial %d: sorted order diverges from reference at %d: %v vs %v",
+					trial, i, ps[i].Levels(), ref[i])
+			}
+		}
+	}
+}
+
+func TestChildDepthPanics(t *testing.T) {
+	deep := Root
+	for d := 0; d < MaxDepth; d++ {
+		deep = deep.Child(0)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Child past MaxDepth did not panic")
+		}
+	}()
+	deep.Child(0)
+}

@@ -2,9 +2,12 @@ package vt
 
 import (
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 	"testing/quick"
+
+	"github.com/swarm-sim/swarm/internal/tsdom"
 )
 
 func TestLexicographicOrder(t *testing.T) {
@@ -12,11 +15,11 @@ func TestLexicographicOrder(t *testing.T) {
 		a, b Time
 		less bool
 	}{
-		{Time{1, 0, 0}, Time{2, 0, 0}, true},
-		{Time{1, 5, 0}, Time{1, 6, 0}, true},
-		{Time{1, 5, 1}, Time{1, 5, 2}, true},
-		{Time{2, 0, 0}, Time{1, 9, 9}, false},
-		{Time{1, 1, 1}, Time{1, 1, 1}, false},
+		{Time{TS: 1}, Time{TS: 2}, true},
+		{Time{TS: 1, Cycle: 5}, Time{TS: 1, Cycle: 6}, true},
+		{Time{TS: 1, Cycle: 5, Tile: 1}, Time{TS: 1, Cycle: 5, Tile: 2}, true},
+		{Time{TS: 2}, Time{TS: 1, Cycle: 9, Tile: 9}, false},
+		{Time{TS: 1, Cycle: 1, Tile: 1}, Time{TS: 1, Cycle: 1, Tile: 1}, false},
 	}
 	for _, c := range cases {
 		if c.a.Less(c.b) != c.less {
@@ -26,13 +29,14 @@ func TestLexicographicOrder(t *testing.T) {
 }
 
 // TestTieBreaking pins the §4.4 tie-break chain explicitly: equal
-// programmer timestamps order by dequeue cycle, equal (TS, Cycle) pairs
-// order by tile id, and fully equal times are unordered. The commit
-// protocol's determinism rests on exactly this chain (same-timestamp
-// tasks dispatched in different cycles or on different tiles must still
-// totally order), which until now was only covered indirectly through
-// whole-machine runs.
+// programmer timestamps order by nested path, then dequeue cycle, then
+// tile id, and fully equal times are unordered. The commit protocol's
+// determinism rests on exactly this chain (same-timestamp tasks
+// dispatched in different cycles or on different tiles must still
+// totally order).
 func TestTieBreaking(t *testing.T) {
+	sub0 := tsdom.FromLevels(0)
+	sub1 := tsdom.FromLevels(1)
 	cases := []struct {
 		name string
 		a, b Time
@@ -41,15 +45,23 @@ func TestTieBreaking(t *testing.T) {
 		// TS dominates everything below it.
 		{"ts-beats-cycle", Time{TS: 1, Cycle: 999, Tile: 9}, Time{TS: 2, Cycle: 0, Tile: 0}, true},
 		{"ts-beats-tile", Time{TS: 3, Cycle: 0, Tile: 9}, Time{TS: 4, Cycle: 0, Tile: 0}, true},
-		// Equal TS: the dequeue cycle decides.
+		{"ts-beats-path", Time{TS: 1, Path: sub1.Child(9), Cycle: 999}, Time{TS: 2}, true},
+		// Equal TS: the nested path decides before the cycle.
+		{"tie-ts-path-flat-first", Time{TS: 5, Cycle: 999, Tile: 9}, Time{TS: 5, Path: sub0, Cycle: 0}, true},
+		{"tie-ts-path-sibling", Time{TS: 5, Path: sub0, Cycle: 999}, Time{TS: 5, Path: sub1, Cycle: 0}, true},
+		{"tie-ts-path-subtree", Time{TS: 5, Path: sub0.Child(7).Child(7), Cycle: 999}, Time{TS: 5, Path: sub1}, true},
+		{"tie-ts-path-parent-first", Time{TS: 5, Path: sub1, Cycle: 999, Tile: 9}, Time{TS: 5, Path: sub1.Child(0), Cycle: 0}, true},
+		// Equal (TS, Path): the dequeue cycle decides.
 		{"tie-ts-cycle-lo", Time{TS: 5, Cycle: 10, Tile: 9}, Time{TS: 5, Cycle: 11, Tile: 0}, true},
 		{"tie-ts-cycle-hi", Time{TS: 5, Cycle: 11, Tile: 0}, Time{TS: 5, Cycle: 10, Tile: 9}, false},
-		// Equal (TS, Cycle): the tile id decides (unique because a tile
-		// dequeues at most once per cycle).
+		{"tie-pathed-cycle", Time{TS: 5, Path: sub0, Cycle: 10, Tile: 9}, Time{TS: 5, Path: sub0, Cycle: 11}, true},
+		// Equal (TS, Path, Cycle): the tile id decides (unique because a
+		// tile dequeues at most once per cycle).
 		{"tie-ts-cycle-tile-lo", Time{TS: 5, Cycle: 10, Tile: 0}, Time{TS: 5, Cycle: 10, Tile: 1}, true},
 		{"tie-ts-cycle-tile-hi", Time{TS: 5, Cycle: 10, Tile: 2}, Time{TS: 5, Cycle: 10, Tile: 1}, false},
 		// Fully equal: unordered in both directions.
 		{"equal", Time{TS: 5, Cycle: 10, Tile: 3}, Time{TS: 5, Cycle: 10, Tile: 3}, false},
+		{"equal-pathed", Time{TS: 5, Path: sub1, Cycle: 10, Tile: 3}, Time{TS: 5, Path: sub1, Cycle: 10, Tile: 3}, false},
 		// Zero value sorts before any dispatched time.
 		{"zero-first", Time{}, Time{TS: 0, Cycle: 1, Tile: 0}, true},
 		// Boundary values: max fields still order correctly.
@@ -64,6 +76,16 @@ func TestTieBreaking(t *testing.T) {
 			// Cross-check the derived comparators on the same pairs.
 			if got := c.a.LessEq(c.b); got != (c.less || c.a == c.b) {
 				t.Errorf("%v.LessEq(%v) = %v, want %v", c.a, c.b, got, c.less || c.a == c.b)
+			}
+			wantCmp := 0
+			switch {
+			case c.less:
+				wantCmp = -1
+			case c.a != c.b:
+				wantCmp = +1
+			}
+			if got := Compare(c.a, c.b); got != wantCmp {
+				t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, wantCmp)
 			}
 			wantMin := c.b
 			if c.less || c.a == c.b {
@@ -83,9 +105,32 @@ func TestTieBreaking(t *testing.T) {
 	}
 }
 
+// genTime draws a random Time whose path is a valid packed fork vector,
+// biased toward collisions in every field.
+func genTime(r *rand.Rand) Time {
+	var p tsdom.Path
+	for d := r.Intn(4); d > 0; d-- {
+		p = p.Child(uint64(r.Intn(3)))
+	}
+	return Time{
+		TS:    uint64(r.Intn(4)),
+		Path:  p,
+		Cycle: uint64(r.Intn(4)),
+		Tile:  uint32(r.Intn(4)),
+	}
+}
+
 // Property: Less is a strict total order (trichotomy + transitivity on
-// random triples).
+// random triples), with Compare agreeing throughout.
 func TestTotalOrder(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 4000,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(genTime(r))
+			}
+		},
+	}
 	f := func(a, b, c Time) bool {
 		// trichotomy
 		n := 0
@@ -101,13 +146,17 @@ func TestTotalOrder(t *testing.T) {
 		if n != 1 {
 			return false
 		}
+		// Compare agrees with Less and equality.
+		if (Compare(a, b) < 0) != a.Less(b) || (Compare(a, b) == 0) != (a == b) {
+			return false
+		}
 		// transitivity
 		if a.Less(b) && b.Less(c) && !a.Less(c) {
 			return false
 		}
 		return true
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -115,9 +164,15 @@ func TestTotalOrder(t *testing.T) {
 func TestInfinity(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	for i := 0; i < 100; i++ {
-		v := Time{rng.Uint64(), rng.Uint64(), rng.Uint32()}
+		v := Time{TS: rng.Uint64(), Cycle: rng.Uint64(), Tile: rng.Uint32()}
 		if v != Infinity && !v.Less(Infinity) {
 			t.Fatalf("%v not < Infinity", v)
+		}
+		// Even deeply pathed times at the same TS stay below Infinity.
+		p := genTime(rng)
+		p.TS = ^uint64(0)
+		if p != Infinity && !p.Less(Infinity) {
+			t.Fatalf("pathed %v not < Infinity", p)
 		}
 	}
 	if Infinity.Less(Infinity) {
@@ -126,9 +181,27 @@ func TestInfinity(t *testing.T) {
 }
 
 func TestMinMax(t *testing.T) {
-	a, b := Time{1, 2, 3}, Time{1, 2, 4}
+	a, b := Time{TS: 1, Cycle: 2, Tile: 3}, Time{TS: 1, Cycle: 2, Tile: 4}
 	if Min(a, b) != a || Min(b, a) != a || Max(a, b) != b || Max(b, a) != b {
 		t.Fatal("Min/Max wrong")
+	}
+	// A pathed time at the same TS loses to the flat one.
+	c := Time{TS: 1, Path: tsdom.FromLevels(0)}
+	d := Time{TS: 1, Cycle: 99, Tile: 9}
+	if Min(c, d) != d || Max(c, d) != c {
+		t.Fatal("Min/Max ignore the path")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (Time{TS: 1, Cycle: 2, Tile: 3}).String(); got != "(1,2,3)" {
+		t.Errorf("flat String = %q", got)
+	}
+	if got := (Time{TS: 1, Path: tsdom.FromLevels(2, 0), Cycle: 2, Tile: 3}).String(); got != "(1@2.0,2,3)" {
+		t.Errorf("pathed String = %q", got)
+	}
+	if got := Infinity.String(); got != "(inf)" {
+		t.Errorf("Infinity String = %q", got)
 	}
 }
 
@@ -136,7 +209,7 @@ func TestSortAgreesWithLess(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	ts := make([]Time, 200)
 	for i := range ts {
-		ts[i] = Time{uint64(rng.Intn(5)), uint64(rng.Intn(5)), uint32(rng.Intn(5))}
+		ts[i] = genTime(rng)
 	}
 	sort.Slice(ts, func(i, j int) bool { return ts[i].Less(ts[j]) })
 	for i := 1; i < len(ts); i++ {
